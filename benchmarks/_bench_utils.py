@@ -1,0 +1,67 @@
+"""Helpers shared by the benchmark files (scale knobs, artifact writing).
+
+Kept separate from ``conftest.py`` so that benchmark modules can import them
+under an unambiguous module name even when the test suite and the benchmark
+suite are collected in the same pytest session.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.config import paper_configurations
+
+ARTIFACT_DIR = Path(__file__).resolve().parent / "_artifacts"
+
+#: Schedulers included in the table campaign (Bender98 is benchmarked
+#: separately in bench_overhead.py, as in the paper, because it is
+#: intractable on the larger platforms).
+TABLE_SCHEDULERS = (
+    "offline",
+    "online",
+    "online-edf",
+    "online-egdf",
+    "swrpt",
+    "srpt",
+    "spt",
+    "bender02",
+    "mct-div",
+    "mct",
+)
+
+
+def bench_scale() -> dict[str, object]:
+    """Read the benchmark scale knobs from the environment."""
+    return {
+        "profile": os.environ.get("REPRO_BENCH_PROFILE", "quick"),
+        "replicates": int(os.environ.get("REPRO_BENCH_REPLICATES", "1")),
+        "max_jobs": int(os.environ.get("REPRO_BENCH_MAX_JOBS", "12")),
+        "window": float(os.environ.get("REPRO_BENCH_WINDOW", "20")),
+        "workers": int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+    }
+
+
+def campaign_configurations():
+    """The experimental design used by the table benchmarks."""
+    scale = bench_scale()
+    if scale["profile"] == "paper":
+        return paper_configurations(window=scale["window"], max_jobs=scale["max_jobs"])
+    # Quick profile: keep all three platform sizes (the dominant factor) and a
+    # representative subset of the other levels.
+    return paper_configurations(
+        sites=(3, 10, 20),
+        databanks=(3, 10),
+        availabilities=(0.3, 0.9),
+        densities=(0.75, 1.5, 3.0),
+        window=scale["window"],
+        max_jobs=scale["max_jobs"],
+    )
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a rendered table/series next to the benchmark run."""
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / name
+    path.write_text(content + "\n")
+    return path

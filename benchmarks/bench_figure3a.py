@@ -1,0 +1,40 @@
+"""Figure 3(a) -- max-stretch degradation of the optimized vs non-optimized on-line heuristic.
+
+The paper plots, against the workload density (0.0125 ... 4.0), the average
+max-stretch degradation from the off-line optimal of (i) the non-optimized
+on-line heuristic (System (1) only) and (ii) the optimized heuristic
+(System (1) + System (2)).  Both stay below ~2.5 % on average over the whole
+density range, and the optimization does not hurt the max-stretch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure3a
+from repro.utils.textable import TextTable
+
+from _bench_utils import write_artifact
+
+
+def bench_figure3a_series(benchmark, figure3_points):
+    series = benchmark.pedantic(lambda: figure3a(figure3_points), rounds=1, iterations=1)
+
+    table = TextTable(headers=["density", "non-optimized degr. (%)", "optimized degr. (%)"])
+    for density, non_opt, opt in series:
+        table.add_row([density, non_opt, opt])
+    write_artifact("figure3a.txt", table.render())
+
+    assert len(series) >= 5
+    densities = [p[0] for p in series]
+    assert densities == sorted(densities)
+    non_opt = np.array([p[1] for p in series])
+    opt = np.array([p[2] for p in series])
+    # Degradations are percentages >= 0 and stay small on average for both
+    # versions (the paper reports at most a few percent).
+    assert np.all(non_opt >= -1e-6)
+    assert np.all(opt >= -1e-6)
+    assert float(np.mean(opt)) < 25.0
+    # The System (2) re-optimization must not make the max-stretch worse on
+    # average than the non-optimized version.
+    assert float(np.mean(opt)) <= float(np.mean(non_opt)) + 2.0

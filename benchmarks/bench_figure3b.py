@@ -1,0 +1,38 @@
+"""Figure 3(b) -- sum-stretch gain of the optimized on-line heuristic.
+
+The paper plots, against the workload density, the average relative gain in
+sum-stretch obtained by adding the System (2) re-optimization on top of the
+plain System (1) schedule.  The gain is positive over the whole range and
+grows with the density (up to ~14-18 % at density 4-5), which is the
+motivation for the optimized variant.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.figures import figure3b
+from repro.utils.textable import TextTable
+
+from _bench_utils import write_artifact
+
+
+def bench_figure3b_series(benchmark, figure3_points):
+    series = benchmark.pedantic(lambda: figure3b(figure3_points), rounds=1, iterations=1)
+
+    table = TextTable(headers=["density", "sum-stretch gain (%)"])
+    for density, gain in series:
+        table.add_row([density, gain])
+    write_artifact("figure3b.txt", table.render())
+
+    assert len(series) >= 5
+    gains = np.array([g for _, g in series if math.isfinite(g)])
+    assert gains.size >= 5
+    # The optimization never degrades the sum-stretch on average, and the gain
+    # at the high-density end exceeds the gain at the low-density end.
+    assert float(np.mean(gains)) >= -1.0
+    low = np.mean([g for d, g in series[:3] if math.isfinite(g)])
+    high = np.mean([g for d, g in series[-3:] if math.isfinite(g)])
+    assert high >= low - 2.0

@@ -1,0 +1,78 @@
+"""Ablation -- cost of the System (1) / System (2) linear programs.
+
+The off-line algorithm's complexity is polynomial but the constant matters in
+practice (it is the reason the paper's Bender98 re-implementation was
+restricted to 3-cluster platforms).  This ablation measures the cost of one
+optimal max-stretch resolution and one System (2) re-optimization as a
+function of the number of jobs and of capability classes, which documents the
+scaled-down defaults used by the table benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp.maxstretch import minimize_max_weighted_flow
+from repro.lp.problem import problem_from_instance
+from repro.lp.relaxation import reoptimize_allocation
+from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+
+def _instance(n_clusters: int, n_jobs: int, seed: int = 11):
+    platform_spec = PlatformSpec(
+        n_clusters=n_clusters, processors_per_cluster=10,
+        n_databanks=max(2, n_clusters // 2), availability=0.7,
+    )
+    workload_spec = WorkloadSpec(density=1.5, window=60.0, max_jobs=n_jobs)
+    return generate_instance(platform_spec, workload_spec, rng=seed)
+
+
+def bench_system1_small_platform(benchmark):
+    instance = _instance(n_clusters=3, n_jobs=15)
+    problem = problem_from_instance(instance)
+    solution = benchmark.pedantic(
+        lambda: minimize_max_weighted_flow(problem), rounds=1, iterations=1
+    )
+    assert solution.objective >= 1.0 - 1e-6
+
+
+def bench_system1_large_platform(benchmark):
+    instance = _instance(n_clusters=10, n_jobs=15)
+    problem = problem_from_instance(instance)
+    solution = benchmark.pedantic(
+        lambda: minimize_max_weighted_flow(problem), rounds=1, iterations=1
+    )
+    assert solution.objective >= 1.0 - 1e-6
+
+
+def bench_system1_more_jobs(benchmark):
+    instance = _instance(n_clusters=3, n_jobs=30)
+    problem = problem_from_instance(instance)
+    solution = benchmark.pedantic(
+        lambda: minimize_max_weighted_flow(problem), rounds=1, iterations=1
+    )
+    assert solution.objective >= 1.0 - 1e-6
+
+
+def bench_system2_reoptimization(benchmark):
+    instance = _instance(n_clusters=3, n_jobs=20)
+    problem = problem_from_instance(instance)
+    best = minimize_max_weighted_flow(problem)
+
+    reopt = benchmark.pedantic(
+        lambda: reoptimize_allocation(problem, best.objective), rounds=1, iterations=1
+    )
+    for job in problem.jobs:
+        assert reopt.work_for_job(job.job_id) == pytest.approx(job.remaining_work, rel=1e-5)
+
+
+def bench_milestone_enumeration(benchmark):
+    from repro.lp.milestones import enumerate_milestones
+
+    instance = _instance(n_clusters=3, n_jobs=40)
+    problem = problem_from_instance(instance)
+    milestones = benchmark(enumerate_milestones, problem)
+    n = len(problem.jobs)
+    assert 0 < len(milestones) <= n * (n - 1)
+    assert list(milestones) == sorted(milestones)

@@ -1,0 +1,39 @@
+"""Tables 2-4 -- statistics partitioned by platform size (3 / 10 / 20 sites).
+
+In the paper the ordering of the heuristics is stable across platform sizes;
+MCT degrades sharply as the platform grows (mean max-stretch degradation 10.3
+on 3 sites, 25.1 on 10 sites, 45.6 on 20 sites) because more capacity makes
+the optimal stretch smaller while MCT's non-preemptive mistakes stay.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.statistics import compute_degradations, summarize
+from repro.experiments.tables import tables_by_sites
+
+from _bench_utils import write_artifact
+
+
+def bench_tables_by_sites(benchmark, campaign_results):
+    tables = benchmark.pedantic(
+        lambda: tables_by_sites(campaign_results), rounds=1, iterations=1
+    )
+    rendered = "\n\n".join(table.render() for table in tables.values())
+    write_artifact("tables_02_04_sites.txt", rendered)
+    assert set(tables) == {3, 10, 20}
+
+    # Within every platform size, the LP-based heuristics stay near-optimal for
+    # max-stretch and a greedy MCT variant is the worst strategy; MCT itself is
+    # the overall worst on the largest platform (the paper's Table 4 trend),
+    # where its degradation dwarfs its 3-site value.
+    mct_means = {}
+    for n_sites in tables:
+        subset = campaign_results.by_sites(n_sites)
+        rows = {r.scheduler: r for r in summarize(compute_degradations(subset))}
+        assert rows["Online"].max_stretch_mean <= 1.2
+        worst = max(rows.values(), key=lambda r: r.max_stretch_mean).scheduler
+        assert worst in ("MCT", "MCT-Div")
+        mct_means[n_sites] = rows["MCT"].max_stretch_mean
+    largest = max(tables)
+    assert mct_means[largest] == max(mct_means.values())
+    assert mct_means[largest] > 2.0 * mct_means[min(tables)]

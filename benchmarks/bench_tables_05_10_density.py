@@ -1,0 +1,48 @@
+"""Tables 5-10 -- statistics partitioned by workload density (0.75 ... 3.0).
+
+The paper's trend: as the workload density grows, every heuristic drifts away
+from the optimal max-stretch (Online mean degradation 1.0008 at density 0.75
+vs 1.0063 at density 3.0; SWRPT 1.04 -> 1.16; Bender02 2.6 -> 4.5), while the
+relative ordering of the strategies is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.statistics import compute_degradations, summarize
+from repro.experiments.tables import tables_by_density
+
+from _bench_utils import write_artifact
+
+
+def bench_tables_by_density(benchmark, campaign_results):
+    tables = benchmark.pedantic(
+        lambda: tables_by_density(campaign_results), rounds=1, iterations=1
+    )
+    rendered = "\n\n".join(table.render() for table in tables.values())
+    write_artifact("tables_05_10_density.txt", rendered)
+    densities = sorted(tables)
+    assert len(densities) >= 3
+
+    # Ordering preserved at every density level.
+    per_density_rows = {}
+    for density in densities:
+        subset = campaign_results.by_density(density)
+        rows = {r.scheduler: r for r in summarize(compute_degradations(subset))}
+        per_density_rows[density] = rows
+        assert rows["Offline"].max_stretch_mean <= 1.05
+        worst = max(rows.values(), key=lambda r: r.max_stretch_mean).scheduler
+        assert worst in ("MCT", "MCT-Div")
+
+    # The list heuristics degrade (weakly) with the load: compare the lowest
+    # and highest density levels on average over the non-LP strategies.
+    lo, hi = densities[0], densities[-1]
+    drift = np.mean(
+        [
+            per_density_rows[hi][name].max_stretch_mean
+            - per_density_rows[lo][name].max_stretch_mean
+            for name in ("SWRPT", "SRPT", "SPT")
+        ]
+    )
+    assert drift >= -0.2

@@ -1,0 +1,38 @@
+"""Tables 11-13 -- statistics partitioned by number of reference databanks (3/10/20).
+
+Paper trend: more distinct databanks means less sharing between request
+streams and slightly larger degradations for the greedy strategies (MCT-Div
+3.3 -> 7.1 -> 8.6 mean max-stretch degradation), while the LP-based on-line
+heuristics stay within a fraction of a percent of the optimal everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.statistics import compute_degradations, summarize
+from repro.experiments.tables import tables_by_databases
+
+from _bench_utils import write_artifact
+
+
+def bench_tables_by_databases(benchmark, campaign_results):
+    tables = benchmark.pedantic(
+        lambda: tables_by_databases(campaign_results), rounds=1, iterations=1
+    )
+    rendered = "\n\n".join(table.render() for table in tables.values())
+    write_artifact("tables_11_13_databases.txt", rendered)
+    assert len(tables) >= 2
+
+    for n_databanks in tables:
+        subset = campaign_results.by_databases(n_databanks)
+        rows = {r.scheduler: r for r in summarize(compute_degradations(subset))}
+        assert rows["Offline"].max_stretch_mean <= 1.05
+        assert rows["Online"].max_stretch_mean <= 1.2
+        worst = max(rows.values(), key=lambda r: r.max_stretch_mean).scheduler
+        assert worst in ("MCT", "MCT-Div")
+        # Sum-stretch champion stays in the SWRPT/SRPT/EGDF family.
+        best_sum = min(r.sum_stretch_mean for r in rows.values())
+        assert min(
+            rows["SWRPT"].sum_stretch_mean,
+            rows["SRPT"].sum_stretch_mean,
+            rows["Online-EGDF"].sum_stretch_mean,
+        ) <= 1.05 * best_sum

@@ -1,0 +1,49 @@
+"""Theorem 1 -- sum-oriented schedulers starve the large job.
+
+Not a table of the paper, but the quantitative content of Theorem 1: on the
+instance made of one job of size Delta followed by k unit jobs, any
+sum-stretch-competitive algorithm reaches a max-stretch of 1 + k/Delta
+(starvation), arbitrarily larger than the 1 + Delta achievable by a
+max-stretch-oriented schedule once k >> Delta^2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.theory.starvation import starvation_analysis
+from repro.utils.textable import TextTable
+
+from _bench_utils import write_artifact
+
+
+def bench_theorem1_starvation(benchmark):
+    delta, k = 4.0, 96
+
+    report = benchmark.pedantic(
+        lambda: starvation_analysis(delta, k, ["srpt", "swrpt", "fcfs", "online"]),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = TextTable(headers=["Scheduler", "max-stretch", "sum-stretch"])
+    table.add_row(["(sum-friendly reference)", report.sum_friendly_max_stretch,
+                   report.sum_friendly_sum_stretch])
+    table.add_row(["(max-friendly reference)", report.max_friendly_max_stretch,
+                   report.max_friendly_sum_stretch])
+    for name, (max_s, sum_s) in report.measured.items():
+        table.add_row([name, max_s, sum_s])
+    write_artifact("theorem1_starvation.txt", table.render())
+
+    srpt_max, srpt_sum = report.measured["srpt"]
+    online_max, _ = report.measured["online"]
+    fcfs_max, fcfs_sum = report.measured["fcfs"]
+    # SRPT/SWRPT reach the starvation level 1 + k/Delta exactly.
+    assert srpt_max == pytest.approx(1 + k / delta)
+    # FCFS (large job first) realizes the 1 + Delta bound of the proof.
+    assert fcfs_max == pytest.approx(1 + delta)
+    # The LP-based on-line heuristic avoids the starvation of the large job.
+    assert online_max < srpt_max
+    # ... while the sum-oriented schedule keeps the best sum-stretch.
+    assert srpt_sum < fcfs_sum
+    assert report.max_stretch_blowup > 1.0

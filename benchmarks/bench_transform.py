@@ -1,0 +1,76 @@
+"""Figure 1 / Lemma 1 ablation -- cost and fidelity of the model equivalence.
+
+Checks, on random uniform instances, that the uniform-divisible platform and
+its equivalent uniprocessor produce identical completion times for the
+priority heuristics, and measures the cost of the two Lemma 1
+transformations (forward projection and reverse lifting) relative to the
+simulation itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.core.transform import (
+    divisible_schedule_to_uniprocessor,
+    equivalent_uniprocessor_instance,
+    uniprocessor_schedule_to_divisible,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+
+from _bench_utils import bench_scale as _bench_scale
+
+
+def _uniform_instance(n_jobs: int, seed: int = 21) -> Instance:
+    rng = np.random.default_rng(seed)
+    platform = Platform.uniform(list(rng.uniform(0.2, 1.5, size=5)), databanks=["db"])
+    jobs = []
+    t = 0.0
+    for i in range(n_jobs):
+        t += float(rng.exponential(0.4))
+        jobs.append(Job(i, release=t, size=float(rng.uniform(1.0, 20.0)), databank="db"))
+    return Instance(jobs, platform)
+
+
+def bench_lemma1_round_trip(benchmark):
+    scale = _bench_scale()
+    instance = _uniform_instance(max(20, int(scale["max_jobs"])))
+    multi = simulate(instance, make_scheduler("swrpt"))
+    equivalent = equivalent_uniprocessor_instance(instance)
+
+    def round_trip():
+        projected = divisible_schedule_to_uniprocessor(multi.schedule, instance)
+        lifted = uniprocessor_schedule_to_divisible(projected, instance)
+        return projected, lifted
+
+    projected, lifted = benchmark(round_trip)
+    # Lemma 1: projection never increases completion times; lifting is lossless.
+    for job in instance.jobs:
+        assert projected.completion_time(job.job_id) <= multi.completions[job.job_id] + 1e-6
+        assert lifted.completion_time(job.job_id) == pytest.approx(
+            projected.completion_time(job.job_id), rel=1e-9
+        )
+    assert projected.violations(equivalent) == []
+    assert lifted.violations(instance) == []
+
+
+def bench_equivalence_of_heuristics(benchmark):
+    scale = _bench_scale()
+    instance = _uniform_instance(max(20, int(scale["max_jobs"])), seed=33)
+    equivalent = equivalent_uniprocessor_instance(instance)
+
+    def run_both():
+        multi = simulate(instance, make_scheduler("srpt"))
+        uni = simulate(equivalent, make_scheduler("srpt"))
+        return multi, uni
+
+    multi, uni = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    for job in instance.jobs:
+        assert multi.completions[job.job_id] == pytest.approx(
+            uni.completions[job.job_id], rel=1e-6
+        )

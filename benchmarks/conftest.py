@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+section on a *scaled-down* campaign (shorter submission windows and capped
+job counts) so that the whole suite runs in minutes on a laptop.  The scale
+is controlled by environment variables:
+
+=============================  ===========================================================
+``REPRO_BENCH_PROFILE``        ``quick`` (default) runs a reduced factorial design;
+                               ``paper`` runs the full 162-configuration design.
+``REPRO_BENCH_REPLICATES``     instances per configuration (default 1).
+``REPRO_BENCH_MAX_JOBS``       cap on jobs per instance (default 12).
+``REPRO_BENCH_WINDOW``         submission window in seconds (default 20).
+``REPRO_BENCH_WORKERS``        worker processes for the campaign (default 1).
+=============================  ===========================================================
+
+The campaign is executed once per benchmark session (session-scoped fixture)
+and shared by all table benchmarks; the rendered tables are also written to
+``benchmarks/_artifacts/`` so the regenerated numbers can be inspected after
+the run and compared against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import figure3_configurations
+from repro.experiments.figures import run_figure3_sweep
+from repro.experiments.io import save_records_csv
+from repro.experiments.runner import run_campaign
+
+from _bench_utils import (
+    ARTIFACT_DIR,
+    TABLE_SCHEDULERS,
+    bench_scale,
+    campaign_configurations,
+)
+
+
+@pytest.fixture(scope="session")
+def campaign_results():
+    """Run the (scaled-down) Section 5.3 campaign once per benchmark session."""
+    scale = bench_scale()
+    configs = campaign_configurations()
+    results = run_campaign(
+        configs,
+        scheduler_keys=TABLE_SCHEDULERS,
+        replicates=scale["replicates"],
+        base_seed=2006,
+        n_workers=scale["workers"],
+    )
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    save_records_csv(results, ARTIFACT_DIR / "campaign_records.csv")
+    return results
+
+
+@pytest.fixture(scope="session")
+def figure3_points():
+    """Run the Figure 3 density sweep once per benchmark session."""
+    scale = bench_scale()
+    densities = (0.0125, 0.05, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0)
+    if scale["profile"] == "paper":
+        densities = (0.0125, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+    configs = figure3_configurations(
+        densities=densities,
+        window=scale["window"],
+        max_jobs=scale["max_jobs"],
+    )
+    replicates = max(2, int(scale["replicates"]))
+    return run_figure3_sweep(configs, replicates=replicates, base_seed=1998)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""A scaled-down version of the paper's simulation campaign (Section 5).
+
+Generates random GriPPS-like platforms and workloads from the paper's
+factorial design (platform size x number of databanks x availability x
+workload density), runs the Table 1 heuristics on every instance, and prints
+the aggregate degradation table plus one per-density breakdown -- i.e. a
+miniature of Tables 1 and 5-10.
+
+Run with::
+
+    python examples/gripps_campaign.py            # quick (~1-2 minutes)
+    python examples/gripps_campaign.py --full     # larger workloads (slower)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import (
+    paper_configurations,
+    run_campaign,
+    save_records_csv,
+    table1,
+    tables_by_density,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use larger workloads")
+    parser.add_argument("--replicates", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--csv", type=str, default=None, help="save raw records to CSV")
+    args = parser.parse_args()
+
+    # A reduced design (one platform size, two densities) keeps this example
+    # fast; the full design of the paper is available through
+    # `paper_configurations()` with its default arguments.
+    configs = paper_configurations(
+        sites=(3,) if not args.full else (3, 10),
+        databanks=(3,),
+        availabilities=(0.3, 0.9),
+        densities=(0.75, 2.0) if not args.full else (0.75, 1.5, 3.0),
+        window=20.0 if not args.full else 60.0,
+        max_jobs=15 if not args.full else 40,
+    )
+    scheduler_keys = ["offline", "online", "online-edf", "online-egdf",
+                      "swrpt", "srpt", "spt", "bender02", "mct-div", "mct"]
+
+    print(f"Running {len(configs)} configurations x {args.replicates} replicates ...")
+    results = run_campaign(
+        configs,
+        scheduler_keys=scheduler_keys,
+        replicates=args.replicates,
+        n_workers=args.workers,
+    )
+    if args.csv:
+        path = save_records_csv(results, args.csv)
+        print(f"raw records written to {path}")
+
+    print()
+    print(table1(results).render())
+    for table in tables_by_density(results).values():
+        print()
+        print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Operating a bioinformatics portal: production policy vs stretch-aware policy.
+
+The GriPPS portal of the paper served motif-comparison requests with a simple
+minimum-completion-time policy (MCT).  Section 5.3 shows why this is a poor
+choice: small requests arriving behind a long scan are stretched enormously,
+and automatic submission scripts (long trains of small jobs) can starve
+interactive users.  This example replays such an operational scenario --
+a long automated scan followed by a burst of small interactive queries --
+and compares:
+
+* ``MCT``        the production policy,
+* ``SWRPT``      the best sum-stretch heuristic (but starvation-prone),
+* ``Online``     the paper's LP-based max-stretch heuristic.
+
+It prints the per-job stretch of every request under each policy, then the
+tail of the stretch distribution, which is what an interactive user actually
+experiences.
+
+Run with::
+
+    python examples/online_portal.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Instance, Job, Platform, make_scheduler, simulate
+from repro.core.platform import Machine
+from repro.utils.textable import TextTable
+
+
+def build_scenario(seed: int = 7) -> Instance:
+    """One fast site with the 'nr' databank, one slower site with both."""
+    rng = np.random.default_rng(seed)
+    machines = []
+    mid = 0
+    for cluster, (count, cycle, banks) in enumerate(
+        [(6, 0.02, {"nr"}), (4, 0.035, {"nr", "uniprot"})]
+    ):
+        for _ in range(count):
+            machines.append(Machine(mid, cycle, cluster, frozenset(banks)))
+            mid += 1
+    platform = Platform(machines)
+
+    jobs = []
+    job_id = 0
+    # An automated pipeline submits a train of large scans of 'nr'.
+    t = 0.0
+    for _ in range(4):
+        jobs.append(Job(job_id, release=t, size=600.0, databank="nr", name=f"pipeline-{job_id}"))
+        job_id += 1
+        t += float(rng.exponential(3.0))
+    # Interactive users submit small 'uniprot' queries during the same window.
+    t = 1.0
+    for _ in range(12):
+        size = float(rng.uniform(10.0, 60.0))
+        jobs.append(Job(job_id, release=t, size=size, databank="uniprot", name=f"user-{job_id}"))
+        job_id += 1
+        t += float(rng.exponential(1.5))
+    return Instance(jobs, platform)
+
+
+def main() -> None:
+    instance = build_scenario()
+    print(instance.platform.describe())
+    print(f"{instance.n_jobs} requests, size ratio Delta = {instance.delta():.1f}")
+    print()
+
+    policies = ["mct", "swrpt", "online"]
+    per_job: dict[str, dict[int, float]] = {}
+    summary = TextTable(
+        headers=["Policy", "max-stretch", "mean-stretch", "95th pct stretch", "sum-stretch"]
+    )
+    for key in policies:
+        result = simulate(instance, make_scheduler(key))
+        stretches = result.stretches()
+        per_job[result.scheduler_name] = stretches
+        values = np.array(sorted(stretches.values()))
+        summary.add_row(
+            [
+                result.scheduler_name,
+                float(values.max()),
+                float(values.mean()),
+                float(np.percentile(values, 95)),
+                float(values.sum()),
+            ]
+        )
+    print(summary.render())
+    print()
+
+    detail = TextTable(headers=["Request", "databank", "size (MB)"] + list(per_job))
+    for job in instance.jobs:
+        detail.add_row(
+            [job.label, job.databank, job.size]
+            + [per_job[name][job.job_id] for name in per_job]
+        )
+    print(detail.render())
+    print()
+    print(
+        "The Online policy keeps the worst-case (interactive) stretch close to the\n"
+        "optimum while remaining within a few percent of SWRPT's sum-stretch;\n"
+        "MCT lets small interactive queries queue behind the pipeline scans."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim: allows `python setup.py develop` / legacy editable installs
+on environments without the `wheel` package (PEP 660 editable installs require
+it).  All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro -- stretch-minimizing schedulers for flows of divisible biological requests.
+
+Reproduction of A. Legrand, A. Su and F. Vivien, *Minimizing the stretch when
+scheduling flows of biological requests* (INRIA RR-5724, 2005 / SPAA 2006).
+
+Quick start
+-----------
+
+>>> from repro import Job, Platform, Instance, simulate, make_scheduler
+>>> platform = Platform.uniform([1.0, 1.0], databanks=["db"])
+>>> jobs = [Job(0, release=0.0, size=10.0, databank="db"),
+...         Job(1, release=1.0, size=2.0, databank="db")]
+>>> instance = Instance(jobs, platform)
+>>> result = simulate(instance, make_scheduler("swrpt"))
+>>> round(result.max_stretch, 3) >= 1.0
+True
+
+The public API is re-exported from the subpackages:
+
+* :mod:`repro.core` -- jobs, platforms, instances, schedules, metrics, Lemma 1;
+* :mod:`repro.lp` -- the System (1)/(2) linear programs;
+* :mod:`repro.simulation` -- the fluid discrete-event engine;
+* :mod:`repro.schedulers` -- all scheduling strategies and the registry;
+* :mod:`repro.workload` -- GriPPS-like synthetic platform/workload generation;
+* :mod:`repro.experiments` -- the paper's experimental campaign (tables, figures);
+* :mod:`repro.theory` -- constructions behind Theorems 1 and 2.
+"""
+
+from repro._version import __version__
+from repro import analysis
+from repro.core import (
+    CapabilityClass,
+    Cluster,
+    InfeasibleError,
+    Instance,
+    Job,
+    JobSet,
+    Machine,
+    ModelError,
+    Platform,
+    ReproError,
+    Schedule,
+    ScheduleError,
+    SolverError,
+    WorkSlice,
+    metrics,
+)
+from repro.simulation import SimulationResult, simulate
+from repro.schedulers import (
+    available_schedulers,
+    make_scheduler,
+    paper_schedulers,
+    register_scheduler,
+)
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "Job",
+    "JobSet",
+    "Machine",
+    "Cluster",
+    "CapabilityClass",
+    "Platform",
+    "Instance",
+    "Schedule",
+    "WorkSlice",
+    "metrics",
+    "ReproError",
+    "ModelError",
+    "ScheduleError",
+    "InfeasibleError",
+    "SolverError",
+    "simulate",
+    "SimulationResult",
+    "make_scheduler",
+    "register_scheduler",
+    "available_schedulers",
+    "paper_schedulers",
+]

@@ -1,0 +1,288 @@
+"""Command-line interface: ``repro-stretch``.
+
+Sub-commands
+------------
+
+``simulate``
+    Generate one random GriPPS-like instance and run one or more schedulers
+    on it, printing per-scheduler metrics (and optionally the event trace or
+    an ASCII Gantt chart).
+``campaign``
+    Run a (scaled-down) version of the paper's factorial campaign and print
+    Table 1 plus, optionally, the per-parameter breakdowns; raw records can
+    be saved to CSV.
+``figure3``
+    Run the density sweep of Figure 3 and print both series.
+``overhead``
+    Run the scheduling-overhead comparison of Section 5.3.
+``theorem1`` / ``theorem2``
+    Demonstrate the adversarial constructions of the theory sections.
+
+Every sub-command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.config import figure3_configurations, paper_configurations
+from repro.experiments.figures import run_figure3_sweep
+from repro.experiments.io import save_records_csv
+from repro.experiments.overhead import scheduling_overhead
+from repro.experiments.runner import run_campaign
+from repro.experiments.tables import (
+    table1,
+    tables_by_availability,
+    tables_by_databases,
+    tables_by_density,
+    tables_by_sites,
+)
+from repro.schedulers.registry import available_schedulers, make_scheduler, paper_schedulers
+from repro.simulation.engine import simulate
+from repro.theory.bounds import swrpt_competitive_gap
+from repro.theory.starvation import starvation_analysis
+from repro.utils.textable import TextTable
+from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stretch",
+        description="Stretch-minimizing schedulers for flows of divisible biological requests",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run schedulers on one random instance")
+    sim.add_argument("--clusters", type=int, default=3)
+    sim.add_argument("--databanks", type=int, default=3)
+    sim.add_argument("--availability", type=float, default=0.6)
+    sim.add_argument("--density", type=float, default=1.0)
+    sim.add_argument("--processors", type=int, default=10, help="processors per cluster")
+    sim.add_argument("--window", type=float, default=60.0, help="submission window (s)")
+    sim.add_argument("--max-jobs", type=int, default=40)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["offline", "online", "swrpt", "srpt", "mct"],
+        choices=available_schedulers(),
+        metavar="KEY",
+    )
+    sim.add_argument("--trace", action="store_true", help="print the event trace")
+    sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+
+    camp = sub.add_parser("campaign", help="run a scaled-down version of the paper campaign")
+    camp.add_argument("--replicates", type=int, default=1)
+    camp.add_argument("--window", type=float, default=20.0)
+    camp.add_argument("--max-jobs", type=int, default=15)
+    camp.add_argument("--seed", type=int, default=2006)
+    camp.add_argument("--workers", type=int, default=1)
+    camp.add_argument("--sites", type=int, nargs="+", default=[3, 10, 20])
+    camp.add_argument("--databanks", type=int, nargs="+", default=[3, 10, 20])
+    camp.add_argument("--availabilities", type=float, nargs="+", default=[0.3, 0.6, 0.9])
+    camp.add_argument(
+        "--densities", type=float, nargs="+", default=[0.75, 1.0, 1.25, 1.5, 2.0, 3.0]
+    )
+    camp.add_argument("--schedulers", nargs="+", default=None, metavar="KEY")
+    camp.add_argument("--save-csv", type=str, default=None)
+    camp.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
+
+    fig = sub.add_parser("figure3", help="run the Figure 3 density sweep")
+    fig.add_argument("--replicates", type=int, default=3)
+    fig.add_argument("--window", type=float, default=20.0)
+    fig.add_argument("--max-jobs", type=int, default=15)
+    fig.add_argument("--seed", type=int, default=1998)
+
+    over = sub.add_parser("overhead", help="scheduling-overhead comparison (Section 5.3)")
+    over.add_argument("--replicates", type=int, default=2)
+    over.add_argument("--window", type=float, default=30.0)
+    over.add_argument("--max-jobs", type=int, default=25)
+
+    th1 = sub.add_parser("theorem1", help="starvation instance of Theorem 1")
+    th1.add_argument("--delta", type=float, default=16.0)
+    th1.add_argument("--unit-jobs", type=int, default=64)
+    th1.add_argument(
+        "--schedulers", nargs="+", default=["srpt", "swrpt", "fcfs", "offline", "online"]
+    )
+
+    th2 = sub.add_parser("theorem2", help="SWRPT lower-bound instance of Theorem 2")
+    th2.add_argument("--epsilon", type=float, default=0.3)
+    th2.add_argument("--unit-jobs", type=int, default=300)
+
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec_p = PlatformSpec(
+        n_clusters=args.clusters,
+        processors_per_cluster=args.processors,
+        n_databanks=args.databanks,
+        availability=args.availability,
+    )
+    spec_w = WorkloadSpec(density=args.density, window=args.window, max_jobs=args.max_jobs)
+    instance = generate_instance(spec_p, spec_w, rng=args.seed)
+    print(instance.platform.describe())
+    print(f"{instance.n_jobs} jobs, size ratio Delta = {instance.delta():.2f}")
+    print()
+    table = TextTable(
+        headers=["Scheduler", "max-stretch", "sum-stretch", "max-flow", "makespan", "sched time (s)"]
+    )
+    for key in args.schedulers:
+        result = simulate(instance, make_scheduler(key), record_events=args.trace)
+        report = result.report()
+        table.add_row(
+            [
+                result.scheduler_name,
+                report.max_stretch,
+                report.sum_stretch,
+                report.max_flow,
+                report.makespan,
+                result.scheduler_time,
+            ]
+        )
+        if args.trace:
+            print(f"--- trace of {result.scheduler_name} ---")
+            for line in result.trace_lines():
+                print(line)
+            print()
+        if args.gantt:
+            print(f"--- Gantt chart of {result.scheduler_name} ---")
+            print(result.schedule.gantt(instance))
+            print()
+    print(table.render())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    configs = paper_configurations(
+        sites=args.sites,
+        databanks=args.databanks,
+        availabilities=args.availabilities,
+        densities=args.densities,
+        window=args.window,
+        max_jobs=args.max_jobs,
+    )
+    scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
+    print(
+        f"Running {len(configs)} configurations x {args.replicates} replicates "
+        f"x {len(scheduler_keys)} schedulers ..."
+    )
+    results = run_campaign(
+        configs,
+        scheduler_keys=scheduler_keys,
+        replicates=args.replicates,
+        base_seed=args.seed,
+        n_workers=args.workers,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+    )
+    if args.save_csv:
+        path = save_records_csv(results, args.save_csv)
+        print(f"raw records saved to {path}")
+    print()
+    print(table1(results).render())
+    if args.breakdowns:
+        for tables in (
+            tables_by_sites(results),
+            tables_by_density(results),
+            tables_by_databases(results),
+            tables_by_availability(results),
+        ):
+            for table in tables.values():
+                print()
+                print(table.render())
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    configs = figure3_configurations(window=args.window, max_jobs=args.max_jobs)
+    points = run_figure3_sweep(configs, replicates=args.replicates, base_seed=args.seed)
+    table = TextTable(
+        headers=[
+            "density",
+            "non-opt degr. (%)",
+            "optimized degr. (%)",
+            "sum-stretch gain (%)",
+        ]
+    )
+    for p in points:
+        table.add_row(
+            [
+                p.density,
+                p.non_optimized_max_stretch_degradation,
+                p.optimized_max_stretch_degradation,
+                p.sum_stretch_gain,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    records = scheduling_overhead(
+        replicates=args.replicates,
+        window=args.window,
+        max_jobs=args.max_jobs,
+        scheduler_options={"bender98": {"max_jobs_per_resolution": 25}},
+    )
+    table = TextTable(
+        headers=["Scheduler", "mean sched time (s)", "max sched time (s)", "mean decisions", "instances"]
+    )
+    for record in records:
+        table.add_row(record.cells())
+    print(table.render())
+    return 0
+
+
+def _cmd_theorem1(args: argparse.Namespace) -> int:
+    report = starvation_analysis(args.delta, args.unit_jobs, args.schedulers)
+    print(f"Theorem 1 instance: Delta = {report.delta}, k = {report.n_unit_jobs} unit jobs")
+    print(
+        f"  sum-friendly schedule: sum-stretch = {report.sum_friendly_sum_stretch:.3f}, "
+        f"max-stretch = {report.sum_friendly_max_stretch:.3f}"
+    )
+    print(
+        f"  max-friendly schedule: sum-stretch = {report.max_friendly_sum_stretch:.3f}, "
+        f"max-stretch = {report.max_friendly_max_stretch:.3f}"
+    )
+    table = TextTable(headers=["Scheduler", "max-stretch", "sum-stretch"])
+    for name, (max_s, sum_s) in report.measured.items():
+        table.add_row([name, max_s, sum_s])
+    print(table.render())
+    print(f"max-stretch blow-up exhibited by the proof: {report.max_stretch_blowup:.3f}")
+    return 0
+
+
+def _cmd_theorem2(args: argparse.Namespace) -> int:
+    report = swrpt_competitive_gap(args.epsilon, args.unit_jobs)
+    print(
+        f"Theorem 2 instance: epsilon = {report.epsilon}, alpha = {report.parameters.alpha:.4f}, "
+        f"n = {report.parameters.n}, k = {report.parameters.k}, l = {report.n_unit_jobs}"
+    )
+    print(f"  SRPT  sum-stretch: simulated {report.srpt_sum_stretch:.3f}, predicted {report.predicted_srpt:.3f}")
+    print(f"  SWRPT sum-stretch: simulated {report.swrpt_sum_stretch:.3f}, predicted {report.predicted_swrpt:.3f}")
+    print(f"  ratio: {report.ratio:.4f} (target as l grows: {report.target:.4f})")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``repro-stretch`` command."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "campaign": _cmd_campaign,
+        "figure3": _cmd_figure3,
+        "overhead": _cmd_overhead,
+        "theorem1": _cmd_theorem1,
+        "theorem2": _cmd_theorem2,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Core model: jobs, platforms, instances, schedules, metrics, Lemma 1."""
+
+from repro.core.errors import (
+    InfeasibleError,
+    ModelError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+)
+from repro.core.job import Job, JobSet, jobs_sorted_by_release, renumber_jobs
+from repro.core.platform import CapabilityClass, Cluster, Machine, Platform
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule, WorkSlice
+from repro.core import metrics
+from repro.core.transform import (
+    divisible_schedule_to_uniprocessor,
+    equivalent_uniprocessor_instance,
+    uniprocessor_schedule_to_divisible,
+)
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "ScheduleError",
+    "InfeasibleError",
+    "SolverError",
+    "Job",
+    "JobSet",
+    "jobs_sorted_by_release",
+    "renumber_jobs",
+    "Machine",
+    "Cluster",
+    "CapabilityClass",
+    "Platform",
+    "Instance",
+    "Schedule",
+    "WorkSlice",
+    "metrics",
+    "equivalent_uniprocessor_instance",
+    "uniprocessor_schedule_to_divisible",
+    "divisible_schedule_to_uniprocessor",
+]

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "ScheduleError",
+    "InfeasibleError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ModelError(ReproError):
+    """An instance, platform or job definition is inconsistent."""
+
+
+class ScheduleError(ReproError):
+    """A schedule violates the model constraints (overlap, capacity, ...)."""
+
+
+class InfeasibleError(ReproError):
+    """A feasibility problem (e.g. deadline scheduling) has no solution."""
+
+
+class SolverError(ReproError):
+    """The underlying LP solver failed unexpectedly."""

@@ -1,0 +1,63 @@
+"""The paper's experimental campaign (Section 5).
+
+* :mod:`repro.experiments.config` -- experiment configurations: the 162-point
+  factorial design of Section 5.3 and the density sweep of Section 5.2.
+* :mod:`repro.experiments.runner` -- runs configurations (optionally in
+  parallel across processes) and collects per-run records.
+* :mod:`repro.experiments.statistics` -- per-instance normalization
+  (degradation w.r.t. the best heuristic) and mean/SD/max aggregation.
+* :mod:`repro.experiments.tables` -- regenerates Tables 1-16.
+* :mod:`repro.experiments.figures` -- regenerates Figures 3(a) and 3(b).
+* :mod:`repro.experiments.overhead` -- the scheduling-overhead comparison of
+  Section 5.3.
+* :mod:`repro.experiments.io` -- CSV/JSON persistence of result records.
+"""
+
+from repro.experiments.config import (
+    ExperimentConfig,
+    figure3_configurations,
+    paper_configurations,
+    small_configurations,
+)
+from repro.experiments.runner import ExperimentResults, RunRecord, run_campaign, run_configuration
+from repro.experiments.statistics import AggregateRow, DegradationRecord, compute_degradations, summarize
+from repro.experiments.tables import (
+    render_aggregate_table,
+    table1,
+    tables_by_availability,
+    tables_by_databases,
+    tables_by_density,
+    tables_by_sites,
+)
+from repro.experiments.figures import Figure3Point, figure3a, figure3b
+from repro.experiments.overhead import OverheadRecord, scheduling_overhead
+from repro.experiments.io import load_records_csv, save_records_csv, save_records_json
+
+__all__ = [
+    "ExperimentConfig",
+    "paper_configurations",
+    "figure3_configurations",
+    "small_configurations",
+    "RunRecord",
+    "ExperimentResults",
+    "run_configuration",
+    "run_campaign",
+    "DegradationRecord",
+    "AggregateRow",
+    "compute_degradations",
+    "summarize",
+    "table1",
+    "tables_by_sites",
+    "tables_by_density",
+    "tables_by_databases",
+    "tables_by_availability",
+    "render_aggregate_table",
+    "Figure3Point",
+    "figure3a",
+    "figure3b",
+    "OverheadRecord",
+    "scheduling_overhead",
+    "save_records_csv",
+    "save_records_json",
+    "load_records_csv",
+]

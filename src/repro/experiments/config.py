@@ -1,0 +1,200 @@
+"""Experiment configurations.
+
+The paper's main campaign is a full factorial design over four parameters
+(Section 5.3):
+
+* platforms of 3, 10 and 20 clusters (10 processors each),
+* 3, 10 and 20 distinct reference databanks,
+* databank availabilities of 30 %, 60 % and 90 %,
+* workload density factors of 0.75, 1.0, 1.25, 1.5, 2.0 and 3.0,
+
+for 162 configurations, each replicated 200 times (about 32 000 instances).
+Reproducing the campaign at full scale is possible but slow in pure Python;
+:func:`paper_configurations` therefore exposes the exact same design while
+letting the caller scale down the submission window and the number of
+replicates (the benchmark harness records the values used in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.core.errors import ModelError
+from repro.workload.generator import PlatformSpec, WorkloadSpec
+from repro.workload.gripps import DEFAULT_PROCESSORS_PER_CLUSTER, SUBMISSION_WINDOW_SECONDS
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_SITES",
+    "PAPER_DATABANKS",
+    "PAPER_AVAILABILITIES",
+    "PAPER_DENSITIES",
+    "paper_configurations",
+    "figure3_configurations",
+    "small_configurations",
+]
+
+#: Factor levels of the paper's factorial design (Section 5.3).
+PAPER_SITES: tuple[int, ...] = (3, 10, 20)
+PAPER_DATABANKS: tuple[int, ...] = (3, 10, 20)
+PAPER_AVAILABILITIES: tuple[float, ...] = (0.3, 0.6, 0.9)
+PAPER_DENSITIES: tuple[float, ...] = (0.75, 1.0, 1.25, 1.5, 2.0, 3.0)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One point of the experimental design.
+
+    The six features of Section 5.1, plus the submission window and an
+    optional cap on the number of jobs per instance (both used to scale the
+    campaign to the available compute budget without changing its design).
+    """
+
+    name: str
+    n_clusters: int
+    n_databanks: int
+    availability: float
+    density: float
+    processors_per_cluster: int = DEFAULT_PROCESSORS_PER_CLUSTER
+    window: float = SUBMISSION_WINDOW_SECONDS
+    max_jobs: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_clusters <= 0 or self.n_databanks <= 0:
+            raise ModelError("n_clusters and n_databanks must be positive")
+        if not (0 < self.availability <= 1):
+            raise ModelError("availability must lie in (0, 1]")
+        if self.density <= 0 or self.window <= 0:
+            raise ModelError("density and window must be positive")
+
+    # -- conversions -------------------------------------------------------------
+    def platform_spec(self) -> PlatformSpec:
+        return PlatformSpec(
+            n_clusters=self.n_clusters,
+            processors_per_cluster=self.processors_per_cluster,
+            n_databanks=self.n_databanks,
+            availability=self.availability,
+        )
+
+    def workload_spec(self) -> WorkloadSpec:
+        return WorkloadSpec(density=self.density, window=self.window, max_jobs=self.max_jobs)
+
+    def scaled(self, *, window: float | None = None, max_jobs: int | None = None) -> "ExperimentConfig":
+        """A copy with a different submission window and/or job cap."""
+        return replace(
+            self,
+            window=self.window if window is None else window,
+            max_jobs=self.max_jobs if max_jobs is None else max_jobs,
+        )
+
+    def as_dict(self) -> dict[str, float | int | str | None]:
+        return {
+            "name": self.name,
+            "n_clusters": self.n_clusters,
+            "n_databanks": self.n_databanks,
+            "availability": self.availability,
+            "density": self.density,
+            "processors_per_cluster": self.processors_per_cluster,
+            "window": self.window,
+            "max_jobs": self.max_jobs,
+        }
+
+
+def paper_configurations(
+    *,
+    sites: Sequence[int] = PAPER_SITES,
+    databanks: Sequence[int] = PAPER_DATABANKS,
+    availabilities: Sequence[float] = PAPER_AVAILABILITIES,
+    densities: Sequence[float] = PAPER_DENSITIES,
+    window: float = SUBMISSION_WINDOW_SECONDS,
+    max_jobs: int | None = None,
+    processors_per_cluster: int = DEFAULT_PROCESSORS_PER_CLUSTER,
+) -> list[ExperimentConfig]:
+    """The full factorial design of Section 5.3 (162 configurations by default)."""
+    configs: list[ExperimentConfig] = []
+    for n_clusters in sites:
+        for n_databanks in databanks:
+            for availability in availabilities:
+                for density in densities:
+                    name = (
+                        f"s{n_clusters:02d}-d{n_databanks:02d}"
+                        f"-a{int(round(availability * 100)):02d}"
+                        f"-rho{density:g}"
+                    )
+                    configs.append(
+                        ExperimentConfig(
+                            name=name,
+                            n_clusters=n_clusters,
+                            n_databanks=n_databanks,
+                            availability=availability,
+                            density=density,
+                            processors_per_cluster=processors_per_cluster,
+                            window=window,
+                            max_jobs=max_jobs,
+                        )
+                    )
+    return configs
+
+
+def figure3_configurations(
+    *,
+    densities: Iterable[float] = (0.0125, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75, 1.0,
+                                  1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    n_clusters: int = 3,
+    n_databanks: int = 3,
+    availability: float = 0.6,
+    window: float = SUBMISSION_WINDOW_SECONDS,
+    max_jobs: int | None = None,
+) -> list[ExperimentConfig]:
+    """The density sweep of Section 5.2 (Figure 3).
+
+    The paper sweeps 80 job-size/density combinations between densities
+    0.0125 and 4.0 on small platforms; this helper exposes the density axis
+    (the quantity plotted) with a configurable resolution.
+    """
+    configs = []
+    for density in densities:
+        configs.append(
+            ExperimentConfig(
+                name=f"fig3-rho{density:g}",
+                n_clusters=n_clusters,
+                n_databanks=n_databanks,
+                availability=availability,
+                density=density,
+                window=window,
+                max_jobs=max_jobs,
+            )
+        )
+    return configs
+
+
+def small_configurations(
+    *,
+    window: float = 60.0,
+    max_jobs: int | None = 40,
+) -> list[ExperimentConfig]:
+    """A handful of small configurations used by tests and the quickstart example."""
+    return [
+        ExperimentConfig(
+            name="small-low",
+            n_clusters=2,
+            n_databanks=2,
+            availability=0.6,
+            density=0.75,
+            processors_per_cluster=4,
+            window=window,
+            max_jobs=max_jobs,
+        ),
+        ExperimentConfig(
+            name="small-high",
+            n_clusters=3,
+            n_databanks=3,
+            availability=0.6,
+            density=1.5,
+            processors_per_cluster=4,
+            window=window,
+            max_jobs=max_jobs,
+        ),
+    ]

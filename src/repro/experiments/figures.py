@@ -1,0 +1,116 @@
+"""Regeneration of Figure 3 (Section 5.2).
+
+Figure 3 compares the optimized on-line heuristic (Systems (1) + (2)) against
+its non-optimized version (System (1) only) over a sweep of workload
+densities:
+
+* Figure 3(a): average max-stretch degradation from the off-line optimal, in
+  percent, for both versions;
+* Figure 3(b): average relative gain in sum-stretch of the optimized version
+  over the non-optimized version, in percent.
+
+The functions below run the sweep and return plot-ready series of
+:class:`Figure3Point`; no plotting library is required (the benchmark harness
+prints the series and EXPERIMENTS.md records them).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.experiments.config import ExperimentConfig, figure3_configurations
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+from repro.utils.seeding import derive_seed
+from repro.workload.generator import generate_instance
+
+__all__ = ["Figure3Point", "figure3a", "figure3b", "run_figure3_sweep"]
+
+
+@dataclass(frozen=True)
+class Figure3Point:
+    """One point of the Figure 3 curves."""
+
+    density: float
+    #: Average max-stretch degradation from optimal (%) of the optimized heuristic.
+    optimized_max_stretch_degradation: float
+    #: Average max-stretch degradation from optimal (%) of the non-optimized heuristic.
+    non_optimized_max_stretch_degradation: float
+    #: Average sum-stretch gain (%) of the optimized over the non-optimized version.
+    sum_stretch_gain: float
+    #: Number of instances aggregated into this point.
+    n_instances: int
+
+
+def run_figure3_sweep(
+    configs: Sequence[ExperimentConfig] | None = None,
+    *,
+    replicates: int = 5,
+    base_seed: int = 1998,
+) -> list[Figure3Point]:
+    """Run the Figure 3 experiment and return one point per density.
+
+    For each instance, the max-stretch of the optimized (``Online``) and
+    non-optimized (``Online (non-opt.)``) heuristics is divided by the
+    off-line optimal max-stretch; the sum-stretch gain is
+    ``(nonopt - opt) / nonopt``.
+    """
+    if configs is None:
+        configs = figure3_configurations()
+
+    points: list[Figure3Point] = []
+    for config in configs:
+        opt_degr: list[float] = []
+        nonopt_degr: list[float] = []
+        gains: list[float] = []
+        for replicate in range(replicates):
+            seed = derive_seed(base_seed, config.name, replicate)
+            instance = generate_instance(
+                config.platform_spec(), config.workload_spec(), rng=seed
+            )
+            try:
+                offline = simulate(instance, make_scheduler("offline"))
+                optimized = simulate(instance, make_scheduler("online"))
+                non_optimized = simulate(instance, make_scheduler("online-nonopt"))
+            except ReproError:
+                continue
+            reference = offline.max_stretch
+            if reference <= 0:
+                continue
+            opt_degr.append(optimized.max_stretch / reference - 1.0)
+            nonopt_degr.append(non_optimized.max_stretch / reference - 1.0)
+            if non_optimized.sum_stretch > 0:
+                gains.append(
+                    (non_optimized.sum_stretch - optimized.sum_stretch)
+                    / non_optimized.sum_stretch
+                )
+        if not opt_degr:
+            continue
+        points.append(
+            Figure3Point(
+                density=config.density,
+                optimized_max_stretch_degradation=100.0 * float(np.mean(opt_degr)),
+                non_optimized_max_stretch_degradation=100.0 * float(np.mean(nonopt_degr)),
+                sum_stretch_gain=100.0 * float(np.mean(gains)) if gains else math.nan,
+                n_instances=len(opt_degr),
+            )
+        )
+    return points
+
+
+def figure3a(points: Sequence[Figure3Point]) -> list[tuple[float, float, float]]:
+    """Figure 3(a) series: (density, non-optimized degradation %, optimized degradation %)."""
+    return [
+        (p.density, p.non_optimized_max_stretch_degradation, p.optimized_max_stretch_degradation)
+        for p in points
+    ]
+
+
+def figure3b(points: Sequence[Figure3Point]) -> list[tuple[float, float]]:
+    """Figure 3(b) series: (density, sum-stretch gain %)."""
+    return [(p.density, p.sum_stretch_gain) for p in points]

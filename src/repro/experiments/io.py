@@ -1,0 +1,82 @@
+"""Persistence of experiment records (CSV / JSON).
+
+Large campaigns are expensive; saving the raw :class:`RunRecord` rows allows
+re-aggregating tables and figures without re-running the simulations, and the
+benchmark harness uses these helpers to leave the regenerated tables next to
+the benchmark output.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.runner import ExperimentResults, RunRecord
+
+__all__ = ["save_records_csv", "load_records_csv", "save_records_json"]
+
+_FIELDS = [
+    "config",
+    "replicate",
+    "scheduler",
+    "n_jobs",
+    "n_clusters",
+    "n_databanks",
+    "availability",
+    "density",
+    "max_stretch",
+    "sum_stretch",
+    "max_flow",
+    "sum_flow",
+    "makespan",
+    "scheduler_time",
+    "failed",
+]
+
+_INT_FIELDS = {"replicate", "n_jobs", "n_clusters", "n_databanks"}
+_STR_FIELDS = {"config", "scheduler"}
+
+
+def save_records_csv(results: ExperimentResults | Iterable[RunRecord], path: str | Path) -> Path:
+    """Write records to a CSV file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for record in results:
+            writer.writerow(record.as_dict())
+    return path
+
+
+def load_records_csv(path: str | Path) -> ExperimentResults:
+    """Read records back from a CSV file produced by :func:`save_records_csv`."""
+    path = Path(path)
+    records: list[RunRecord] = []
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            kwargs: dict[str, object] = {}
+            for field in _FIELDS:
+                raw = row[field]
+                if field in _STR_FIELDS:
+                    kwargs[field] = raw
+                elif field == "failed":
+                    kwargs[field] = raw in ("True", "true", "1")
+                elif field in _INT_FIELDS:
+                    kwargs[field] = int(raw)
+                else:
+                    kwargs[field] = float(raw)
+            records.append(RunRecord(**kwargs))  # type: ignore[arg-type]
+    return ExperimentResults(records)
+
+
+def save_records_json(results: ExperimentResults | Iterable[RunRecord], path: str | Path) -> Path:
+    """Write records to a JSON file (list of objects); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [record.as_dict() for record in results]
+    path.write_text(json.dumps(payload, indent=2))
+    return path

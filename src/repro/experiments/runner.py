@@ -1,0 +1,239 @@
+"""Experiment runner: simulate heuristics over randomized configurations.
+
+The runner realizes, for each :class:`~repro.experiments.config.ExperimentConfig`
+and each replicate, a random instance (platform + workload), runs every
+requested scheduler on it, and records the raw metrics.  Replicates can be
+distributed over a process pool (`n_workers > 1`); each worker regenerates
+its instance from the configuration and a derived seed, so nothing heavy is
+pickled and results are reproducible regardless of the degree of parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.schedulers.registry import make_scheduler, paper_schedulers
+from repro.simulation.engine import simulate
+from repro.utils.seeding import derive_seed
+from repro.workload.generator import generate_instance
+
+__all__ = ["RunRecord", "ExperimentResults", "run_configuration", "run_campaign"]
+
+#: Default scheduler set: the paper's Table 1 strategies minus Bender98 (whose
+#: overhead restricted it to the smallest platforms even in the paper).
+DEFAULT_SCHEDULERS: tuple[str, ...] = tuple(paper_schedulers(include_bender98=False))
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Raw metrics of one (configuration, replicate, scheduler) run."""
+
+    config: str
+    replicate: int
+    scheduler: str
+    n_jobs: int
+    n_clusters: int
+    n_databanks: int
+    availability: float
+    density: float
+    max_stretch: float
+    sum_stretch: float
+    max_flow: float
+    sum_flow: float
+    makespan: float
+    scheduler_time: float
+    failed: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+
+class ExperimentResults:
+    """A flat collection of :class:`RunRecord` with filtering helpers."""
+
+    def __init__(self, records: Iterable[RunRecord] = ()):
+        self.records: list[RunRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def extend(self, records: Iterable[RunRecord]) -> None:
+        self.records.extend(records)
+
+    def schedulers(self) -> list[str]:
+        """Scheduler names present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.scheduler, None)
+        return list(seen)
+
+    def filter(self, predicate: Callable[[RunRecord], bool]) -> "ExperimentResults":
+        """A new result set containing the records matching ``predicate``."""
+        return ExperimentResults(r for r in self.records if predicate(r))
+
+    def by_sites(self, n_clusters: int) -> "ExperimentResults":
+        return self.filter(lambda r: r.n_clusters == n_clusters)
+
+    def by_databases(self, n_databanks: int) -> "ExperimentResults":
+        return self.filter(lambda r: r.n_databanks == n_databanks)
+
+    def by_availability(self, availability: float) -> "ExperimentResults":
+        return self.filter(lambda r: math.isclose(r.availability, availability))
+
+    def by_density(self, density: float) -> "ExperimentResults":
+        return self.filter(lambda r: math.isclose(r.density, density))
+
+    def instances(self) -> list[tuple[str, int]]:
+        """All (configuration, replicate) pairs present."""
+        seen: dict[tuple[str, int], None] = {}
+        for record in self.records:
+            seen.setdefault((record.config, record.replicate), None)
+        return list(seen)
+
+
+def _run_single_replicate(
+    config: ExperimentConfig,
+    replicate: int,
+    scheduler_keys: Sequence[str],
+    seed: int,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+) -> list[RunRecord]:
+    """Worker body: generate one instance, run every scheduler on it."""
+    instance = generate_instance(
+        config.platform_spec(), config.workload_spec(), rng=seed
+    )
+    records: list[RunRecord] = []
+    for key in scheduler_keys:
+        options = dict((scheduler_options or {}).get(key, {}))
+        scheduler = make_scheduler(key, **options)
+        failed = False
+        try:
+            result = simulate(instance, scheduler)
+            metrics = result.report()
+            values = dict(
+                max_stretch=metrics.max_stretch,
+                sum_stretch=metrics.sum_stretch,
+                max_flow=metrics.max_flow,
+                sum_flow=metrics.sum_flow,
+                makespan=metrics.makespan,
+                scheduler_time=result.scheduler_time,
+            )
+        except ReproError:
+            # A scheduler failure (e.g. an LP numerical breakdown on a corner
+            # case) is recorded instead of aborting the whole campaign.
+            failed = True
+            values = dict(
+                max_stretch=math.nan,
+                sum_stretch=math.nan,
+                max_flow=math.nan,
+                sum_flow=math.nan,
+                makespan=math.nan,
+                scheduler_time=math.nan,
+            )
+        records.append(
+            RunRecord(
+                config=config.name,
+                replicate=replicate,
+                scheduler=scheduler.name,
+                n_jobs=instance.n_jobs,
+                n_clusters=config.n_clusters,
+                n_databanks=config.n_databanks,
+                availability=config.availability,
+                density=config.density,
+                failed=failed,
+                **values,
+            )
+        )
+    return records
+
+
+def run_configuration(
+    config: ExperimentConfig,
+    *,
+    scheduler_keys: Sequence[str] = DEFAULT_SCHEDULERS,
+    replicates: int = 5,
+    base_seed: int = 2006,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+) -> ExperimentResults:
+    """Run one configuration for the requested number of replicates (serial)."""
+    results = ExperimentResults()
+    for replicate in range(replicates):
+        seed = derive_seed(base_seed, config.name, replicate)
+        results.extend(
+            _run_single_replicate(config, replicate, scheduler_keys, seed, scheduler_options)
+        )
+    return results
+
+
+def run_campaign(
+    configs: Sequence[ExperimentConfig],
+    *,
+    scheduler_keys: Sequence[str] = DEFAULT_SCHEDULERS,
+    replicates: int = 5,
+    base_seed: int = 2006,
+    n_workers: int = 1,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> ExperimentResults:
+    """Run a whole campaign (all configurations x replicates x schedulers).
+
+    Parameters
+    ----------
+    configs:
+        The experimental design (e.g. :func:`paper_configurations`).
+    scheduler_keys:
+        Registry keys of the strategies to evaluate.
+    replicates:
+        Number of random instances per configuration.
+    base_seed:
+        Root of the seed derivation; the same (configuration, replicate)
+        always sees the same instance.
+    n_workers:
+        Number of worker processes.  ``1`` (default) runs everything in the
+        calling process; larger values distribute (configuration, replicate)
+        pairs over a :class:`concurrent.futures.ProcessPoolExecutor`.
+    scheduler_options:
+        Optional per-scheduler-key constructor options (e.g.
+        ``{"bender98": {"max_jobs_per_resolution": 30}}``).
+    progress:
+        Optional callback invoked with a short message after each completed
+        (configuration, replicate) pair.
+    """
+    tasks = []
+    for config in configs:
+        for replicate in range(replicates):
+            seed = derive_seed(base_seed, config.name, replicate)
+            tasks.append((config, replicate, seed))
+
+    results = ExperimentResults()
+    if n_workers <= 1:
+        for config, replicate, seed in tasks:
+            records = _run_single_replicate(
+                config, replicate, scheduler_keys, seed, scheduler_options
+            )
+            results.extend(records)
+            if progress is not None:
+                progress(f"{config.name} replicate {replicate} done")
+        return results
+
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        futures = [
+            pool.submit(
+                _run_single_replicate, config, replicate, tuple(scheduler_keys), seed,
+                scheduler_options,
+            )
+            for config, replicate, seed in tasks
+        ]
+        for (config, replicate, _), future in zip(tasks, futures):
+            results.extend(future.result())
+            if progress is not None:
+                progress(f"{config.name} replicate {replicate} done")
+    return results

@@ -1,0 +1,153 @@
+"""Per-instance normalization and aggregation of experiment results.
+
+Section 5 of the paper reports, for every heuristic, the mean, standard
+deviation and maximum of its *degradation*: the ratio of its metric value on
+an instance to the best value achieved by any heuristic on that same
+instance.  The best heuristic on an instance therefore scores exactly 1; a
+heuristic that is never the best but always close scores slightly above 1.
+
+:func:`compute_degradations` performs the per-instance normalization;
+:func:`summarize` aggregates the degradations into the Mean/SD/Max rows of
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.experiments.runner import ExperimentResults, RunRecord
+
+__all__ = ["DegradationRecord", "AggregateRow", "compute_degradations", "summarize"]
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """Normalized metrics of one scheduler on one instance."""
+
+    config: str
+    replicate: int
+    scheduler: str
+    max_stretch_degradation: float
+    sum_stretch_degradation: float
+    n_clusters: int
+    n_databanks: int
+    availability: float
+    density: float
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Mean/SD/Max of the degradations of one scheduler (one table row)."""
+
+    scheduler: str
+    max_stretch_mean: float
+    max_stretch_sd: float
+    max_stretch_max: float
+    sum_stretch_mean: float
+    sum_stretch_sd: float
+    sum_stretch_max: float
+    n_instances: int
+
+    def cells(self) -> list[object]:
+        """Row cells in the column order of the paper's tables."""
+        return [
+            self.scheduler,
+            self.max_stretch_mean,
+            self.max_stretch_sd,
+            self.max_stretch_max,
+            self.sum_stretch_mean,
+            self.sum_stretch_sd,
+            self.sum_stretch_max,
+        ]
+
+
+def compute_degradations(results: ExperimentResults) -> list[DegradationRecord]:
+    """Normalize every record by the best value observed on the same instance.
+
+    Records flagged as failed (or with non-finite metrics) are skipped both as
+    candidates for "best" and in the output.
+    """
+    by_instance: dict[tuple[str, int], list[RunRecord]] = {}
+    for record in results:
+        by_instance.setdefault((record.config, record.replicate), []).append(record)
+
+    degradations: list[DegradationRecord] = []
+    for (config, replicate), records in by_instance.items():
+        valid = [
+            r
+            for r in records
+            if not r.failed
+            and math.isfinite(r.max_stretch)
+            and math.isfinite(r.sum_stretch)
+        ]
+        if not valid:
+            continue
+        best_max = min(r.max_stretch for r in valid)
+        best_sum = min(r.sum_stretch for r in valid)
+        if best_max <= 0 or best_sum <= 0:
+            continue
+        for r in valid:
+            degradations.append(
+                DegradationRecord(
+                    config=config,
+                    replicate=replicate,
+                    scheduler=r.scheduler,
+                    max_stretch_degradation=r.max_stretch / best_max,
+                    sum_stretch_degradation=r.sum_stretch / best_sum,
+                    n_clusters=r.n_clusters,
+                    n_databanks=r.n_databanks,
+                    availability=r.availability,
+                    density=r.density,
+                )
+            )
+    return degradations
+
+
+def summarize(
+    degradations: Iterable[DegradationRecord],
+    *,
+    scheduler_order: Sequence[str] | None = None,
+) -> list[AggregateRow]:
+    """Aggregate degradations into Mean/SD/Max rows, one per scheduler.
+
+    Parameters
+    ----------
+    degradations:
+        Output of :func:`compute_degradations` (possibly filtered).
+    scheduler_order:
+        Optional explicit row order (display names); schedulers absent from
+        the data are skipped, schedulers absent from the order are appended
+        alphabetically.
+    """
+    by_scheduler: dict[str, list[DegradationRecord]] = {}
+    for record in degradations:
+        by_scheduler.setdefault(record.scheduler, []).append(record)
+
+    if scheduler_order is None:
+        ordered = sorted(by_scheduler)
+    else:
+        ordered = [s for s in scheduler_order if s in by_scheduler]
+        ordered += sorted(s for s in by_scheduler if s not in ordered)
+
+    rows: list[AggregateRow] = []
+    for scheduler in ordered:
+        records = by_scheduler[scheduler]
+        max_vals = np.array([r.max_stretch_degradation for r in records])
+        sum_vals = np.array([r.sum_stretch_degradation for r in records])
+        rows.append(
+            AggregateRow(
+                scheduler=scheduler,
+                max_stretch_mean=float(max_vals.mean()),
+                max_stretch_sd=float(max_vals.std(ddof=0)),
+                max_stretch_max=float(max_vals.max()),
+                sum_stretch_mean=float(sum_vals.mean()),
+                sum_stretch_sd=float(sum_vals.std(ddof=0)),
+                sum_stretch_max=float(sum_vals.max()),
+                n_instances=len(records),
+            )
+        )
+    return rows

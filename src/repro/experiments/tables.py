@@ -1,0 +1,144 @@
+"""Regeneration of the paper's result tables (Tables 1-16).
+
+Every function takes an :class:`~repro.experiments.runner.ExperimentResults`
+collection (produced by :func:`~repro.experiments.runner.run_campaign`) and
+returns :class:`~repro.utils.textable.TextTable` objects whose layout mirrors
+the paper's tables: one row per heuristic, columns Mean/SD/Max for the
+max-stretch degradation and the sum-stretch degradation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.experiments.runner import ExperimentResults
+from repro.experiments.statistics import AggregateRow, compute_degradations, summarize
+from repro.utils.textable import TextTable
+
+__all__ = [
+    "PAPER_ROW_ORDER",
+    "render_aggregate_table",
+    "table1",
+    "tables_by_sites",
+    "tables_by_density",
+    "tables_by_databases",
+    "tables_by_availability",
+]
+
+#: Row order of Table 1 in the paper (display names).
+PAPER_ROW_ORDER: tuple[str, ...] = (
+    "Offline",
+    "Online",
+    "Online-EDF",
+    "Online-EGDF",
+    "Bender98",
+    "SWRPT",
+    "SRPT",
+    "SPT",
+    "Bender02",
+    "MCT-Div",
+    "MCT",
+)
+
+_HEADERS = (
+    "Heuristic",
+    "MaxS mean",
+    "MaxS SD",
+    "MaxS max",
+    "SumS mean",
+    "SumS SD",
+    "SumS max",
+)
+
+
+def render_aggregate_table(
+    results: ExperimentResults,
+    *,
+    title: str,
+    scheduler_order: Sequence[str] = PAPER_ROW_ORDER,
+) -> TextTable:
+    """Aggregate a result set into a single Mean/SD/Max table."""
+    rows = summarize(compute_degradations(results), scheduler_order=scheduler_order)
+    table = TextTable(headers=_HEADERS, title=title)
+    for row in rows:
+        table.add_row(row.cells())
+    return table
+
+
+def table1(
+    results: ExperimentResults,
+    *,
+    scheduler_order: Sequence[str] = PAPER_ROW_ORDER,
+) -> TextTable:
+    """Table 1: aggregate statistics over all configurations."""
+    n_configs = len({r.config for r in results})
+    return render_aggregate_table(
+        results,
+        title=f"Table 1 - aggregate statistics over {n_configs} configurations",
+        scheduler_order=scheduler_order,
+    )
+
+
+def _tables_by(
+    results: ExperimentResults,
+    values: Iterable,
+    selector,
+    title_fmt: str,
+    first_table_number: int,
+) -> dict[object, TextTable]:
+    tables: dict[object, TextTable] = {}
+    for offset, value in enumerate(values):
+        subset = selector(value)
+        if len(subset) == 0:
+            continue
+        title = title_fmt.format(number=first_table_number + offset, value=value)
+        tables[value] = render_aggregate_table(subset, title=title)
+    return tables
+
+
+def tables_by_sites(results: ExperimentResults) -> dict[int, TextTable]:
+    """Tables 2-4: statistics partitioned by platform size (3, 10, 20 sites)."""
+    sites = sorted({r.n_clusters for r in results})
+    return _tables_by(
+        results,
+        sites,
+        results.by_sites,
+        "Table {number} - configurations using {value} sites",
+        first_table_number=2,
+    )
+
+
+def tables_by_density(results: ExperimentResults) -> dict[float, TextTable]:
+    """Tables 5-10: statistics partitioned by workload density."""
+    densities = sorted({r.density for r in results})
+    return _tables_by(
+        results,
+        densities,
+        results.by_density,
+        "Table {number} - configurations with workload density {value}",
+        first_table_number=5,
+    )
+
+
+def tables_by_databases(results: ExperimentResults) -> dict[int, TextTable]:
+    """Tables 11-13: statistics partitioned by number of reference databanks."""
+    databanks = sorted({r.n_databanks for r in results})
+    return _tables_by(
+        results,
+        databanks,
+        results.by_databases,
+        "Table {number} - configurations with {value} reference databases",
+        first_table_number=11,
+    )
+
+
+def tables_by_availability(results: ExperimentResults) -> dict[float, TextTable]:
+    """Tables 14-16: statistics partitioned by databank availability."""
+    availabilities = sorted({r.availability for r in results})
+    return _tables_by(
+        results,
+        availabilities,
+        results.by_availability,
+        "Table {number} - configurations with database availability {value:.0%}",
+        first_table_number=14,
+    )

@@ -1,0 +1,50 @@
+"""Linear-programming machinery for max-stretch optimization.
+
+This subpackage implements the off-line polynomial algorithm of Section 4.3.1
+of the paper and the sum-stretch-like relaxation (System (2)) used by the
+on-line heuristics:
+
+* :mod:`repro.lp.problem` -- the data model handed to the LP layer: jobs with
+  earliest start dates, remaining works and deadline functions affine in the
+  objective, and *resources* (capability classes of machines).
+* :mod:`repro.lp.milestones` -- enumeration of the objective values at which
+  the relative order of release dates and deadlines changes.
+* :mod:`repro.lp.maxstretch` -- System (1): the parametric LP on one
+  milestone interval and the binary search producing the optimal maximum
+  weighted flow (max-stretch).
+* :mod:`repro.lp.relaxation` -- System (2): re-optimization of a
+  sum-stretch-like objective under the constraint that the optimal
+  max-stretch is preserved.
+* :mod:`repro.lp.aggregation` -- materialization of interval/resource work
+  allocations into concrete per-machine :class:`~repro.core.schedule.WorkSlice`
+  lists.
+* :mod:`repro.lp.solver` -- a thin wrapper around :func:`scipy.optimize.linprog`.
+"""
+
+from repro.lp.problem import (
+    Affine,
+    LPJob,
+    MaxStretchProblem,
+    Resource,
+    problem_from_instance,
+)
+from repro.lp.milestones import enumerate_milestones
+from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
+from repro.lp.relaxation import reoptimize_allocation
+from repro.lp.aggregation import materialize_solution
+from repro.lp.solver import LinearProgramBuilder, LPResult
+
+__all__ = [
+    "Affine",
+    "Resource",
+    "LPJob",
+    "MaxStretchProblem",
+    "problem_from_instance",
+    "enumerate_milestones",
+    "MaxStretchSolution",
+    "minimize_max_weighted_flow",
+    "reoptimize_allocation",
+    "materialize_solution",
+    "LinearProgramBuilder",
+    "LPResult",
+]

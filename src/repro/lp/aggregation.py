@@ -1,0 +1,175 @@
+"""Materialization of LP allocations into per-machine work slices.
+
+The LPs of Systems (1) and (2) allocate *work amounts* per (interval,
+resource, job); a resource is a capability class, i.e. a group of machines
+hosting the same databanks.  This module turns those allocations into a
+concrete :class:`~repro.core.schedule.Schedule`:
+
+* inside an interval, the jobs allocated to a resource are serialized in a
+  chosen order (any order is feasible because constraint (1c) guarantees that
+  every allocated job's deadline is at or after the end of the interval);
+* each job's serialized sub-interval is then spread across the physical
+  machines of the class proportionally to their speeds, so the per-machine
+  slices neither overlap nor exceed capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule, WorkSlice
+from repro.lp.maxstretch import MaxStretchSolution
+from repro.lp.problem import Resource
+
+__all__ = [
+    "materialize_solution",
+    "split_work_across_machines",
+    "edf_order",
+    "swrpt_terminal_order",
+]
+
+#: Work amounts smaller than this (absolute) are not materialized.
+_WORK_EPS = 1e-9
+#: Relative tolerance accepted when an interval's serialized content slightly
+#: exceeds the interval length because of LP roundoff.
+_OVERFLOW_TOL = 1e-6
+
+
+OrderRule = Callable[[MaxStretchSolution, int, int, Sequence[tuple[int, float]]], list[tuple[int, float]]]
+
+
+def edf_order(
+    solution: MaxStretchSolution,
+    interval: int,
+    resource: int,
+    allocations: Sequence[tuple[int, float]],
+) -> list[tuple[int, float]]:
+    """Order jobs inside an interval by earliest deadline first (ties by id)."""
+    return sorted(allocations, key=lambda item: (solution.deadline(item[0]), item[0]))
+
+
+def swrpt_terminal_order(
+    solution: MaxStretchSolution,
+    interval: int,
+    resource: int,
+    allocations: Sequence[tuple[int, float]],
+) -> list[tuple[int, float]]:
+    """The ordering of the plain *Online* variant (Section 4.3.2, step 4).
+
+    Jobs completing their share on this resource during this interval
+    ("terminal jobs") come first, ordered by the SWRPT key (flow factor times
+    remaining work, i.e. :math:`p_j\\,\\rho_t(j)` for stretch weights);
+    non-terminal jobs follow, ordered by the interval in which their share on
+    the resource completes.
+    """
+    terminal: list[tuple[int, float]] = []
+    non_terminal: list[tuple[int, float]] = []
+    for job_id, work in allocations:
+        last = solution.completion_interval_on_resource(job_id, resource)
+        if last is not None and last <= interval:
+            terminal.append((job_id, work))
+        else:
+            non_terminal.append((job_id, work))
+
+    def swrpt_key(item: tuple[int, float]) -> tuple[float, int]:
+        job = solution.problem.job_by_id(item[0])
+        return (job.flow_factor * job.remaining_work, item[0])
+
+    def completion_key(item: tuple[int, float]) -> tuple[int, float, int]:
+        job_id, _ = item
+        last = solution.completion_interval_on_resource(job_id, resource)
+        job = solution.problem.job_by_id(job_id)
+        return (
+            last if last is not None else len(solution.interval_bounds),
+            job.flow_factor * job.remaining_work,
+            job_id,
+        )
+
+    return sorted(terminal, key=swrpt_key) + sorted(non_terminal, key=completion_key)
+
+
+def split_work_across_machines(
+    instance: Instance,
+    machine_ids: Sequence[int],
+    job_id: int,
+    start: float,
+    end: float,
+) -> list[WorkSlice]:
+    """Dedicate the given machines to one job over ``[start, end]``.
+
+    Every machine of the group is fully busy over the interval and processes
+    work proportional to its speed; the total work equals the aggregate
+    speed times the duration.
+    """
+    if end <= start:
+        return []
+    slices = []
+    for machine_id in machine_ids:
+        machine = instance.machine(machine_id)
+        work = machine.speed * (end - start)
+        if work <= _WORK_EPS:
+            continue
+        slices.append(
+            WorkSlice(job_id=job_id, machine_id=machine_id, start=start, end=end, work=work)
+        )
+    return slices
+
+
+def materialize_solution(
+    solution: MaxStretchSolution,
+    instance: Instance,
+    *,
+    order_rule: OrderRule = edf_order,
+) -> Schedule:
+    """Turn an LP allocation into a concrete schedule.
+
+    Parameters
+    ----------
+    solution:
+        The allocation to materialize.
+    instance:
+        The instance providing the physical machines behind each resource.
+    order_rule:
+        Serialization order of the jobs inside each (interval, resource);
+        defaults to earliest deadline first, which is always feasible.
+    """
+    slices: list[WorkSlice] = []
+    for t, (lo, hi) in enumerate(solution.interval_bounds):
+        length = hi - lo
+        if length <= 0:
+            # Zero-length intervals can only carry zero work.
+            continue
+        per_resource: dict[int, list[tuple[int, float]]] = {}
+        for (interval, resource, job_id), work in solution.allocations.items():
+            if interval != t or work <= _WORK_EPS:
+                continue
+            per_resource.setdefault(resource, []).append((job_id, work))
+
+        for resource_idx, allocations in sorted(per_resource.items()):
+            resource = solution.problem.resources[resource_idx]
+            ordered = order_rule(solution, t, resource_idx, allocations)
+            total_duration = sum(work for _, work in ordered) / resource.speed
+            scale = 1.0
+            if total_duration > length:
+                if total_duration > length * (1.0 + _OVERFLOW_TOL) + _OVERFLOW_TOL:
+                    raise ScheduleError(
+                        f"interval {t} on resource {resource_idx} overflows: "
+                        f"needs {total_duration:.9f}s but only {length:.9f}s available"
+                    )
+                scale = length / total_duration
+            cursor = lo
+            for job_id, work in ordered:
+                duration = (work / resource.speed) * scale
+                if duration <= 0:
+                    continue
+                end = min(cursor + duration, hi)
+                slices.extend(
+                    split_work_across_machines(
+                        instance, resource.machine_ids, job_id, cursor, end
+                    )
+                )
+                cursor = end
+    return Schedule(slices)

@@ -1,0 +1,361 @@
+"""System (1): optimal max weighted flow / max-stretch (Section 4.3.1).
+
+The off-line optimal maximum weighted flow is computed by
+
+1. bracketing the optimum between a trivial lower bound (every job needs at
+   least its ideal time) and a trivial upper bound (serial execution),
+2. enumerating the *milestones* inside the bracket
+   (:mod:`repro.lp.milestones`),
+3. binary-searching the first milestone interval on which the parametric
+   linear program System (1) is feasible, and
+4. returning that LP's minimizer, which is the global optimum because
+   feasibility of "max weighted flow <= F" is monotone in ``F``.
+
+The LP works on *resources* (capability classes) rather than individual
+machines; variables are the amounts of work ``x[t, c, j]`` of job ``j``
+processed on resource ``c`` during elementary interval ``t``, plus the
+objective ``F`` itself.  Constraints are exactly (1a)-(1e) of the paper:
+interval/resource capacities (affine in ``F``), structural zeros outside the
+[earliest start, deadline] window, and per-job completeness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import InfeasibleError, SolverError
+from repro.lp.intervals import IntervalStructure, build_interval_structure
+from repro.lp.milestones import enumerate_milestones
+from repro.lp.problem import LPJob, MaxStretchProblem
+from repro.lp.solver import LinearProgramBuilder
+
+__all__ = ["MaxStretchSolution", "minimize_max_weighted_flow", "solve_on_objective_range"]
+
+#: Work amounts below this threshold (relative to the job's remaining work)
+#: are dropped from the reported allocation.
+_ALLOCATION_EPS = 1e-10
+
+
+@dataclass(frozen=True)
+class MaxStretchSolution:
+    """A feasible (usually optimal) allocation achieving a given max weighted flow.
+
+    Attributes
+    ----------
+    objective:
+        The achieved maximum weighted flow :math:`\\mathcal{F}` (equals the
+        max-stretch when stretch weights are used).
+    problem:
+        The problem that was solved.
+    structure:
+        The interval structure used by the LP.
+    interval_bounds:
+        The elementary intervals, evaluated at :attr:`objective`, as
+        ``(start, end)`` pairs.
+    allocations:
+        Mapping ``(interval index, resource index, job id) -> work``.
+    """
+
+    objective: float
+    problem: MaxStretchProblem
+    structure: IntervalStructure
+    interval_bounds: tuple[tuple[float, float], ...]
+    allocations: dict[tuple[int, int, int], float]
+
+    # -- lookups ---------------------------------------------------------------
+    def deadline(self, job_id: int) -> float:
+        """Deadline of the job at the achieved objective."""
+        return self.problem.job_by_id(job_id).deadline(self.objective)
+
+    def allocations_in_interval(self, interval: int) -> dict[tuple[int, int], float]:
+        """``(resource, job) -> work`` allocations inside one interval."""
+        return {
+            (c, j): w
+            for (t, c, j), w in self.allocations.items()
+            if t == interval and w > 0
+        }
+
+    def work_for_job(self, job_id: int) -> float:
+        """Total work allocated to the job across intervals and resources."""
+        return float(
+            sum(w for (t, c, j), w in self.allocations.items() if j == job_id)
+        )
+
+    def work_for_job_on_resource(self, job_id: int, resource: int) -> float:
+        """Total work of the job allocated to one resource."""
+        return float(
+            sum(
+                w
+                for (t, c, j), w in self.allocations.items()
+                if j == job_id and c == resource
+            )
+        )
+
+    def completion_interval(self, job_id: int) -> int:
+        """Index of the last interval in which the job receives work.
+
+        Used by the Online-EGDF variant to build its global priority list.
+        Raises :class:`KeyError` when the job receives no allocation.
+        """
+        indices = [t for (t, c, j), w in self.allocations.items() if j == job_id and w > 0]
+        if not indices:
+            raise KeyError(job_id)
+        return max(indices)
+
+    def completion_interval_on_resource(self, job_id: int, resource: int) -> int | None:
+        """Last interval in which the job receives work on ``resource`` (None if never)."""
+        indices = [
+            t
+            for (t, c, j), w in self.allocations.items()
+            if j == job_id and c == resource and w > 0
+        ]
+        return max(indices) if indices else None
+
+    def jobs_on_resource(self, resource: int) -> list[int]:
+        """Job ids receiving any work on ``resource``."""
+        return sorted(
+            {j for (t, c, j), w in self.allocations.items() if c == resource and w > 0}
+        )
+
+    def max_weighted_flow_of_allocation(self) -> float:
+        """The max weighted flow actually implied by the allocation.
+
+        Every job completes no later than the end of its last allocation
+        interval, so this is a (possibly pessimistic) certificate that the
+        allocation achieves :attr:`objective`.
+        """
+        worst = 0.0
+        for job in self.problem.jobs:
+            try:
+                t = self.completion_interval(job.job_id)
+            except KeyError:
+                continue
+            completion = self.interval_bounds[t][1]
+            worst = max(worst, (completion - job.release) / job.flow_factor)
+        return worst
+
+
+def solve_on_objective_range(
+    problem: MaxStretchProblem,
+    f_low: float,
+    f_high: float,
+) -> MaxStretchSolution | None:
+    """Solve System (1) restricted to objective values in ``[f_low, f_high]``.
+
+    Returns ``None`` when no feasible schedule exists with a maximum weighted
+    flow in that range (the expected outcome for ranges below the optimum).
+    """
+    if not problem.jobs:
+        return MaxStretchSolution(
+            objective=0.0,
+            problem=problem,
+            structure=build_interval_structure(problem, 0.0),
+            interval_bounds=(),
+            allocations={},
+        )
+    if f_high < f_low:
+        raise ValueError(f"invalid objective range [{f_low}, {f_high}]")
+
+    probe = _probe_value(f_low, f_high)
+    structure = build_interval_structure(problem, probe)
+
+    # Quick structural infeasibility check: a job whose deadline does not lie
+    # strictly after its earliest start has no interval to run in.
+    for job in problem.jobs:
+        if len(structure.job_intervals(job.job_id)) == 0:
+            return None
+
+    builder = LinearProgramBuilder()
+    f_var = builder.add_variable(objective=1.0, lower=f_low, upper=f_high, name="F")
+
+    # Variables x[t, c, j].
+    var_index: dict[tuple[int, int, int], int] = {}
+    for job in problem.jobs:
+        for t in structure.job_intervals(job.job_id):
+            for c in job.resources:
+                var_index[(t, c, job.job_id)] = builder.add_variable(
+                    name=f"x[{t},{c},{job.job_id}]"
+                )
+
+    _add_capacity_constraints(builder, problem, structure, var_index, f_var=f_var)
+    _add_completeness_constraints(builder, problem, structure, var_index)
+
+    result = builder.solve()
+    if not result.feasible:
+        return None
+
+    objective = result.value(f_var)
+    allocations = _extract_allocations(problem, var_index, result.values)
+    bounds = tuple(structure.bounds_at(objective))
+    return MaxStretchSolution(
+        objective=objective,
+        problem=problem,
+        structure=structure,
+        interval_bounds=bounds,
+        allocations=allocations,
+    )
+
+
+def minimize_max_weighted_flow(
+    problem: MaxStretchProblem,
+    *,
+    max_milestones: int | None = None,
+) -> MaxStretchSolution:
+    """Compute the optimal max weighted flow (max-stretch) for ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The scheduling problem (off-line or an on-line re-optimization).
+    max_milestones:
+        Optional cap on the number of milestones considered (the list is
+        thinned uniformly when longer).  The result is then an upper bound on
+        the optimum, within the resolution of the retained milestones; the
+        default (no cap) is exact.
+
+    Raises
+    ------
+    InfeasibleError
+        If no feasible schedule exists (cannot happen for well-formed
+        problems: the trivial serial schedule is always feasible).
+    """
+    if not problem.jobs:
+        return solve_on_objective_range(problem, 0.0, 0.0)  # type: ignore[return-value]
+
+    f_lb = problem.objective_lower_bound()
+    f_ub = problem.objective_upper_bound()
+    milestones = enumerate_milestones(problem, lower=f_lb, upper=f_ub)
+    if max_milestones is not None and len(milestones) > max_milestones:
+        step = len(milestones) / max_milestones
+        milestones = [milestones[int(i * step)] for i in range(max_milestones)]
+
+    boundaries = [f_lb] + milestones + [f_ub]
+    last = len(boundaries) - 2
+
+    # Feasibility of "max weighted flow in [boundaries[i], boundaries[i+1]]"
+    # is monotone in the interval index i.  The LPs built for small objective
+    # values are much smaller (each job spans few elementary intervals), so
+    # instead of a plain binary search over the milestone list we *gallop*
+    # from the low end -- testing indices 0, 1, 3, 7, ... -- and only then
+    # binary-search inside the bracket found.  This keeps every probe close
+    # to the optimum and avoids the large LPs of mid-range probes.
+    best: MaxStretchSolution | None = None
+    lo = 0
+    hi = last
+    prev = -1
+    idx = 0
+    step = 1
+    while idx <= last:
+        solution = solve_on_objective_range(problem, boundaries[idx], boundaries[idx + 1])
+        if solution is not None:
+            best = solution
+            hi = idx - 1
+            lo = prev + 1
+            break
+        prev = idx
+        if idx == last:
+            break
+        idx = min(idx + step, last)
+        step *= 2
+
+    # Refine inside the bracket (lo..hi are all untested indices below the
+    # first known-feasible one).
+    while best is not None and lo <= hi:
+        mid = (lo + hi) // 2
+        solution = solve_on_objective_range(problem, boundaries[mid], boundaries[mid + 1])
+        if solution is not None:
+            best = solution
+            hi = mid - 1
+        else:
+            lo = mid + 1
+
+    if best is None:
+        # The serial upper bound should always be feasible; if roundoff made
+        # the last interval infeasible, retry with a widened bracket before
+        # giving up.
+        widened = solve_on_objective_range(problem, f_lb, 2.0 * f_ub + 1.0)
+        if widened is None:
+            raise InfeasibleError(
+                "no feasible schedule found for the max weighted flow problem"
+            )
+        best = widened
+    return best
+
+
+# -- shared constraint builders (also used by the System (2) relaxation) -------------
+
+
+def _probe_value(f_low: float, f_high: float) -> float:
+    """A probe objective strictly inside ``[f_low, f_high]`` whenever possible."""
+    if math.isinf(f_high):
+        return f_low + 1.0
+    if f_high <= f_low:
+        return f_low
+    return 0.5 * (f_low + f_high)
+
+
+def _add_capacity_constraints(
+    builder: LinearProgramBuilder,
+    problem: MaxStretchProblem,
+    structure: IntervalStructure,
+    var_index: Mapping[tuple[int, int, int], int],
+    *,
+    f_var: int | None,
+    objective_value: float | None = None,
+) -> None:
+    """Constraint (1d): per interval and resource, work fits in the interval.
+
+    When ``f_var`` is given the interval length is affine in the objective
+    variable; otherwise ``objective_value`` must be provided and the length is
+    a constant.
+    """
+    by_interval_resource: dict[tuple[int, int], list[int]] = {}
+    for (t, c, j), idx in var_index.items():
+        by_interval_resource.setdefault((t, c), []).append(idx)
+
+    for (t, c), indices in sorted(by_interval_resource.items()):
+        length = structure.interval_length(t)
+        speed = problem.resources[c].speed
+        terms: list[tuple[int, float]] = [(idx, 1.0) for idx in indices]
+        if f_var is not None:
+            # sum x - speed * coef * F <= speed * const
+            terms.append((f_var, -speed * length.coef))
+            rhs = speed * length.const
+        else:
+            assert objective_value is not None
+            rhs = speed * max(0.0, length.at(objective_value))
+        builder.add_leq(terms, rhs)
+
+
+def _add_completeness_constraints(
+    builder: LinearProgramBuilder,
+    problem: MaxStretchProblem,
+    structure: IntervalStructure,
+    var_index: Mapping[tuple[int, int, int], int],
+) -> None:
+    """Constraint (1e): every job's remaining work is fully allocated."""
+    by_job: dict[int, list[int]] = {}
+    for (t, c, j), idx in var_index.items():
+        by_job.setdefault(j, []).append(idx)
+    for job in problem.jobs:
+        indices = by_job.get(job.job_id, [])
+        builder.add_eq([(idx, 1.0) for idx in indices], job.remaining_work)
+
+
+def _extract_allocations(
+    problem: MaxStretchProblem,
+    var_index: Mapping[tuple[int, int, int], int],
+    values: np.ndarray,
+) -> dict[tuple[int, int, int], float]:
+    """Read the x variables back, dropping numerically-zero allocations."""
+    remaining = {job.job_id: job.remaining_work for job in problem.jobs}
+    allocations: dict[tuple[int, int, int], float] = {}
+    for (t, c, j), idx in var_index.items():
+        value = float(values[idx])
+        if value > _ALLOCATION_EPS * max(1.0, remaining[j]):
+            allocations[(t, c, j)] = value
+    return allocations

@@ -1,0 +1,285 @@
+"""Data model for the max-stretch linear programs.
+
+The LP layer does not work on :class:`~repro.core.instance.Instance` objects
+directly, for two reasons:
+
+1. **Machine aggregation.**  In the divisible model without per-job
+   parallelism bounds, machines hosting the same databank set are mutually
+   interchangeable; aggregating them into a single *resource* (speeds add)
+   keeps the LPs small without changing feasibility.  The aggregation is the
+   :meth:`~repro.core.platform.Platform.capability_classes` decomposition.
+2. **On-line re-optimization.**  When the on-line heuristic re-solves the
+   problem at a release date, the jobs' *remaining* works and earliest start
+   dates (the current time) differ from their original sizes and release
+   dates, while deadlines are still anchored at the original release dates.
+   The :class:`LPJob` record carries both.
+
+The deadline of job :math:`J_j` for objective value :math:`\\mathcal{F}` is
+
+.. math:: \\bar d_j(\\mathcal{F}) = r_j + \\mathcal{F}\\cdot f_j
+
+where ``f_j`` (:attr:`LPJob.flow_factor`) is :math:`1/w_j`; for the stretch,
+``f_j`` is the job's ideal time on the platform, so that a max-stretch of 1
+gives every job exactly its ideal time after release.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+
+__all__ = ["Affine", "Resource", "LPJob", "MaxStretchProblem", "problem_from_instance"]
+
+
+@dataclass(frozen=True)
+class Affine:
+    """An affine function of the objective value: ``const + coef * F``."""
+
+    const: float
+    coef: float = 0.0
+
+    def at(self, objective: float) -> float:
+        """Evaluate the function at objective value ``objective``."""
+        return self.const + self.coef * objective
+
+    def __sub__(self, other: "Affine") -> "Affine":
+        return Affine(self.const - other.const, self.coef - other.coef)
+
+    def __add__(self, other: "Affine") -> "Affine":
+        return Affine(self.const + other.const, self.coef + other.coef)
+
+
+@dataclass(frozen=True)
+class Resource:
+    """An aggregated computing resource (capability class).
+
+    Parameters
+    ----------
+    index:
+        Position of the resource in the problem's resource tuple.
+    speed:
+        Aggregate speed (work units per second) of the member machines.
+    machine_ids:
+        Physical machines backing this resource (used when materializing the
+        LP allocation into per-machine work slices).
+    databanks:
+        Databanks hosted by the member machines (informational).
+    """
+
+    index: int
+    speed: float
+    machine_ids: tuple[int, ...]
+    databanks: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ModelError(f"resource {self.index} has non-positive speed {self.speed}")
+        if not self.machine_ids:
+            raise ModelError(f"resource {self.index} has no member machine")
+
+
+@dataclass(frozen=True)
+class LPJob:
+    """A job as seen by the LP layer.
+
+    Parameters
+    ----------
+    job_id:
+        Identifier in the originating instance.
+    earliest_start:
+        Earliest date at which (remaining) work may be processed.  Equals the
+        release date in the off-line problem and the current time in on-line
+        re-optimizations.
+    remaining_work:
+        Work still to be executed (original size off-line).
+    release:
+        Original release date :math:`r_j`, anchoring the deadline.
+    flow_factor:
+        :math:`1/w_j`; the deadline is ``release + F * flow_factor``.
+    resources:
+        Indices of the resources able to process this job.
+    """
+
+    job_id: int
+    earliest_start: float
+    remaining_work: float
+    release: float
+    flow_factor: float
+    resources: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.remaining_work <= 0:
+            raise ModelError(f"job {self.job_id} has non-positive remaining work")
+        if self.flow_factor <= 0:
+            raise ModelError(f"job {self.job_id} has non-positive flow factor")
+        if self.earliest_start < self.release - 1e-12:
+            raise ModelError(
+                f"job {self.job_id} has earliest_start {self.earliest_start} "
+                f"before its release {self.release}"
+            )
+        if not self.resources:
+            raise ModelError(f"job {self.job_id} has no eligible resource")
+
+    def deadline(self, objective: float) -> float:
+        """:math:`\\bar d_j(F) = r_j + F\\,f_j`."""
+        return self.release + objective * self.flow_factor
+
+    def deadline_affine(self) -> Affine:
+        """The deadline as an :class:`Affine` function of the objective."""
+        return Affine(self.release, self.flow_factor)
+
+    def start_affine(self) -> Affine:
+        """The earliest start as a (constant) :class:`Affine` function."""
+        return Affine(self.earliest_start, 0.0)
+
+
+@dataclass(frozen=True)
+class MaxStretchProblem:
+    """A complete max weighted flow minimization problem."""
+
+    resources: tuple[Resource, ...]
+    jobs: tuple[LPJob, ...]
+
+    def __post_init__(self) -> None:
+        for idx, res in enumerate(self.resources):
+            if res.index != idx:
+                raise ModelError("resource indices must match their position")
+        known = set(range(len(self.resources)))
+        for job in self.jobs:
+            unknown = set(job.resources) - known
+            if unknown:
+                raise ModelError(f"job {job.job_id} references unknown resources {unknown}")
+
+    # -- lookups --------------------------------------------------------------
+    def job_by_id(self, job_id: int) -> LPJob:
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise KeyError(job_id)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resources)
+
+    # -- bounds ---------------------------------------------------------------
+    def eligible_speed(self, job: LPJob) -> float:
+        """Total speed of the resources able to process ``job``."""
+        return float(sum(self.resources[r].speed for r in job.resources))
+
+    def objective_lower_bound(self) -> float:
+        """A valid lower bound on the optimal maximum weighted flow.
+
+        Even alone in the system, job ``j`` cannot complete before
+        ``earliest_start + remaining / eligible_speed``; its weighted flow is
+        then at least ``(that - release) / flow_factor``.
+        """
+        if not self.jobs:
+            return 0.0
+        bounds = []
+        for job in self.jobs:
+            best_completion = job.earliest_start + job.remaining_work / self.eligible_speed(job)
+            bounds.append((best_completion - job.release) / job.flow_factor)
+        return max(bounds)
+
+    def objective_upper_bound(self) -> float:
+        """A valid upper bound on the optimal maximum weighted flow.
+
+        Derived from the trivial schedule that waits for the last earliest
+        start date and then processes the jobs one after another, each on its
+        own eligible resource set.
+        """
+        if not self.jobs:
+            return 0.0
+        horizon = max(job.earliest_start for job in self.jobs)
+        horizon += sum(job.remaining_work / self.eligible_speed(job) for job in self.jobs)
+        bound = max((horizon - job.release) / job.flow_factor for job in self.jobs)
+        # Guard against degenerate single-job cases where lower == upper.
+        return max(bound, self.objective_lower_bound())
+
+
+def problem_from_instance(
+    instance: Instance,
+    *,
+    now: float | None = None,
+    remaining: Mapping[int, float] | None = None,
+    job_ids: Iterable[int] | None = None,
+    flow_factors: Mapping[int, float] | None = None,
+) -> MaxStretchProblem:
+    """Build a :class:`MaxStretchProblem` from an instance.
+
+    Parameters
+    ----------
+    instance:
+        The scheduling instance.
+    now:
+        Current time for on-line re-optimizations; job earliest starts become
+        ``max(release, now)``.  ``None`` (off-line) keeps the release dates.
+    remaining:
+        Remaining work per job id.  When provided, the problem is restricted
+        to exactly these jobs (unless ``job_ids`` is also given): this is the
+        natural on-line usage where the mapping describes the currently
+        active jobs.  Jobs mapped to a non-positive value are dropped
+        (completed).
+    job_ids:
+        Restrict the problem to these jobs.  Defaults to the keys of
+        ``remaining`` when that mapping is provided, and to all jobs of the
+        instance otherwise.  Jobs listed here but absent from ``remaining``
+        keep their full size.
+    flow_factors:
+        Optional per-job override of :math:`1/w_j`.  By default the stretch
+        convention is used: the flow factor is the job's ideal time on its
+        eligible machines.
+    """
+    classes = instance.platform.capability_classes()
+    resources = tuple(
+        Resource(
+            index=i,
+            speed=cls.aggregate_speed,
+            machine_ids=cls.machine_ids,
+            databanks=cls.databanks,
+        )
+        for i, cls in enumerate(classes)
+    )
+
+    if job_ids is not None:
+        wanted = set(job_ids)
+    elif remaining is not None:
+        wanted = set(remaining)
+    else:
+        wanted = set(instance.jobs.ids())
+    lp_jobs: list[LPJob] = []
+    for job in instance.jobs:
+        if job.job_id not in wanted:
+            continue
+        rem = job.size if remaining is None else remaining.get(job.job_id, job.size)
+        if rem is None or rem <= 0:
+            continue
+        eligible = tuple(
+            i for i, cls in enumerate(classes) if cls.hosts(job.databank)
+        )
+        if not eligible:
+            raise ModelError(f"job {job.job_id} has no eligible capability class")
+        if flow_factors is not None and job.job_id in flow_factors:
+            factor = flow_factors[job.job_id]
+        else:
+            factor = 1.0 / instance.weight(job.job_id)
+        earliest = job.release if now is None else max(job.release, now)
+        lp_jobs.append(
+            LPJob(
+                job_id=job.job_id,
+                earliest_start=earliest,
+                remaining_work=float(rem),
+                release=job.release,
+                flow_factor=float(factor),
+                resources=eligible,
+            )
+        )
+    return MaxStretchProblem(resources=resources, jobs=tuple(lp_jobs))

@@ -1,0 +1,126 @@
+"""System (2): sum-stretch-like re-optimization at fixed max-stretch.
+
+Once the best achievable max-stretch :math:`\\mathcal{S}^*` is known, the
+on-line heuristic of Section 4.3.2 re-optimizes the allocation so that jobs
+finish *as early as possible on average* without degrading the optimal
+max-stretch.  Since sum-stretch minimization is an open problem, the paper
+uses a rational relaxation: minimize the sum over jobs of the mean time of
+the intervals in which the job is processed, weighted by the fraction of the
+job processed there,
+
+.. math::
+
+   \\min \\sum_j \\sum_t \\Big(\\sum_i \\alpha^{(t)}_{i,j}\\Big)
+        \\frac{\\sup I_t + \\inf I_t}{2},
+
+subject to the same deadline/capacity/completeness constraints as System (1)
+with the objective fixed at :math:`\\mathcal{S}^*`.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import InfeasibleError
+from repro.lp.intervals import build_interval_structure
+from repro.lp.maxstretch import (
+    MaxStretchSolution,
+    _add_capacity_constraints,
+    _add_completeness_constraints,
+    _extract_allocations,
+)
+from repro.lp.problem import MaxStretchProblem
+from repro.lp.solver import LinearProgramBuilder
+
+__all__ = ["reoptimize_allocation"]
+
+
+def reoptimize_allocation(
+    problem: MaxStretchProblem,
+    objective: float,
+    *,
+    inflation: float = 1e-7,
+    max_inflation: float = 1e-3,
+) -> MaxStretchSolution:
+    """Solve System (2) for ``problem`` at max weighted flow ``objective``.
+
+    Parameters
+    ----------
+    problem:
+        The problem whose optimal max weighted flow was just computed.
+    objective:
+        The max weighted flow bound :math:`\\mathcal{S}^*` (deadlines are
+        derived from it).
+    inflation:
+        Relative slack added to ``objective`` before building the deadlines.
+        The optimum returned by :func:`minimize_max_weighted_flow` sits
+        exactly on the feasibility boundary; without a tiny inflation the
+        re-optimization LP can come out marginally infeasible because of
+        floating-point roundoff (the paper reports the same phenomenon).
+    max_inflation:
+        If the LP is still infeasible the inflation is increased
+        geometrically up to this bound before giving up.
+
+    Returns
+    -------
+    MaxStretchSolution
+        The re-optimized allocation.  Its ``objective`` attribute records the
+        (possibly inflated) deadline bound actually used.
+    """
+    if not problem.jobs:
+        return MaxStretchSolution(
+            objective=objective,
+            problem=problem,
+            structure=build_interval_structure(problem, max(objective, 0.0)),
+            interval_bounds=(),
+            allocations={},
+        )
+
+    slack = inflation
+    last_error: str | None = None
+    while slack <= max_inflation:
+        target = objective * (1.0 + slack)
+        solution = _solve_fixed_objective(problem, target)
+        if solution is not None:
+            return solution
+        last_error = f"System (2) infeasible at objective {target!r}"
+        slack *= 10.0
+    raise InfeasibleError(last_error or "System (2) infeasible")
+
+
+def _solve_fixed_objective(
+    problem: MaxStretchProblem, objective: float
+) -> MaxStretchSolution | None:
+    structure = build_interval_structure(problem, objective)
+    for job in problem.jobs:
+        if len(structure.job_intervals(job.job_id)) == 0:
+            return None
+
+    bounds = structure.bounds_at(objective)
+    builder = LinearProgramBuilder()
+    var_index: dict[tuple[int, int, int], int] = {}
+    for job in problem.jobs:
+        for t in structure.job_intervals(job.job_id):
+            midpoint = 0.5 * (bounds[t][0] + bounds[t][1])
+            # Objective coefficient: fraction of the job processed in the
+            # interval (work / remaining) times the interval midpoint.
+            coef = midpoint / job.remaining_work
+            for c in job.resources:
+                var_index[(t, c, job.job_id)] = builder.add_variable(
+                    objective=coef, name=f"x[{t},{c},{job.job_id}]"
+                )
+
+    _add_capacity_constraints(
+        builder, problem, structure, var_index, f_var=None, objective_value=objective
+    )
+    _add_completeness_constraints(builder, problem, structure, var_index)
+
+    result = builder.solve()
+    if not result.feasible:
+        return None
+    allocations = _extract_allocations(problem, var_index, result.values)
+    return MaxStretchSolution(
+        objective=objective,
+        problem=problem,
+        structure=structure,
+        interval_bounds=tuple(bounds),
+        allocations=allocations,
+    )

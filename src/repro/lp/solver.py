@@ -1,0 +1,170 @@
+"""A thin, sparse-friendly wrapper around :func:`scipy.optimize.linprog`.
+
+The LPs built by :mod:`repro.lp.maxstretch` and :mod:`repro.lp.relaxation`
+are sparse (each variable appears in exactly one capacity constraint and one
+completeness constraint), so constraints are accumulated in COO form and
+converted to CSR before the HiGHS call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.errors import SolverError
+
+__all__ = ["LinearProgramBuilder", "LPResult"]
+
+
+@dataclass
+class LPResult:
+    """Outcome of a linear program solve."""
+
+    status: int
+    feasible: bool
+    objective: float
+    values: np.ndarray
+    message: str = ""
+
+    def value(self, index: int) -> float:
+        """Value of variable ``index`` in the optimal solution."""
+        return float(self.values[index])
+
+
+class LinearProgramBuilder:
+    """Incrementally build ``min c.x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, lb <= x <= ub``."""
+
+    def __init__(self) -> None:
+        self._n_vars = 0
+        self._objective: list[float] = []
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._names: list[str] = []
+        # COO triplets for inequality / equality constraint matrices.
+        self._ub_rows: list[int] = []
+        self._ub_cols: list[int] = []
+        self._ub_vals: list[float] = []
+        self._ub_rhs: list[float] = []
+        self._eq_rows: list[int] = []
+        self._eq_cols: list[int] = []
+        self._eq_vals: list[float] = []
+        self._eq_rhs: list[float] = []
+
+    # -- variables -----------------------------------------------------------
+    def add_variable(
+        self,
+        *,
+        objective: float = 0.0,
+        lower: float = 0.0,
+        upper: float = np.inf,
+        name: str = "",
+    ) -> int:
+        """Register a variable and return its index."""
+        index = self._n_vars
+        self._n_vars += 1
+        self._objective.append(float(objective))
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._names.append(name or f"x{index}")
+        return index
+
+    @property
+    def n_variables(self) -> int:
+        return self._n_vars
+
+    def variable_name(self, index: int) -> str:
+        return self._names[index]
+
+    # -- constraints ------------------------------------------------------------
+    def add_leq(self, terms: Sequence[tuple[int, float]], rhs: float) -> int:
+        """Add ``sum coef * x[idx] <= rhs``; returns the constraint row index."""
+        row = len(self._ub_rhs)
+        for idx, coef in terms:
+            self._check_var(idx)
+            if coef != 0.0:
+                self._ub_rows.append(row)
+                self._ub_cols.append(idx)
+                self._ub_vals.append(float(coef))
+        self._ub_rhs.append(float(rhs))
+        return row
+
+    def add_eq(self, terms: Sequence[tuple[int, float]], rhs: float) -> int:
+        """Add ``sum coef * x[idx] == rhs``; returns the constraint row index."""
+        row = len(self._eq_rhs)
+        for idx, coef in terms:
+            self._check_var(idx)
+            if coef != 0.0:
+                self._eq_rows.append(row)
+                self._eq_cols.append(idx)
+                self._eq_vals.append(float(coef))
+        self._eq_rhs.append(float(rhs))
+        return row
+
+    def _check_var(self, idx: int) -> None:
+        if not (0 <= idx < self._n_vars):
+            raise SolverError(f"unknown variable index {idx}")
+
+    # -- solve ---------------------------------------------------------------------
+    def solve(self, *, method: str = "auto") -> LPResult:
+        """Run the LP; returns an :class:`LPResult` (``feasible`` False when infeasible).
+
+        ``method`` is passed to :func:`scipy.optimize.linprog`; the default
+        ``"auto"`` picks HiGHS dual simplex for small programs and the HiGHS
+        interior-point method for large ones (empirically ~2x faster on the
+        transportation-like LPs produced by System (1) on big platforms).
+
+        Raises :class:`SolverError` for unexpected solver failures (numerical
+        breakdown, unboundedness, ...), but *not* for plain infeasibility,
+        which is an expected outcome during the milestone binary search.
+        """
+        if self._n_vars == 0:
+            return LPResult(status=0, feasible=True, objective=0.0, values=np.zeros(0))
+        if method == "auto":
+            method = "highs-ipm" if self._n_vars > 8000 else "highs"
+        c = np.asarray(self._objective)
+        bounds = list(zip(self._lower, self._upper))
+        a_ub = b_ub = a_eq = b_eq = None
+        if self._ub_rhs:
+            a_ub = sparse.coo_matrix(
+                (self._ub_vals, (self._ub_rows, self._ub_cols)),
+                shape=(len(self._ub_rhs), self._n_vars),
+            ).tocsr()
+            b_ub = np.asarray(self._ub_rhs)
+        if self._eq_rhs:
+            a_eq = sparse.coo_matrix(
+                (self._eq_vals, (self._eq_rows, self._eq_cols)),
+                shape=(len(self._eq_rhs), self._n_vars),
+            ).tocsr()
+            b_eq = np.asarray(self._eq_rhs)
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method=method,
+        )
+        # scipy status codes: 0 success, 1 iteration limit, 2 infeasible,
+        # 3 unbounded, 4 numerical difficulties.
+        if result.status == 2:
+            return LPResult(
+                status=2,
+                feasible=False,
+                objective=np.inf,
+                values=np.zeros(self._n_vars),
+                message=result.message,
+            )
+        if result.status != 0:
+            raise SolverError(f"LP solver failed (status {result.status}): {result.message}")
+        return LPResult(
+            status=0,
+            feasible=True,
+            objective=float(result.fun),
+            values=np.asarray(result.x),
+            message=result.message,
+        )

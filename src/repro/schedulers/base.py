@@ -1,0 +1,236 @@
+"""Scheduler base classes.
+
+Three families of schedulers are supported:
+
+* :class:`PriorityScheduler` -- "list" schedulers that maintain a priority
+  among active jobs and apply the greedy rule of Section 3 at every decision
+  point: the highest-priority job receives *all* the available machines able
+  to process it, the next job receives the remaining ones, and so on.  On a
+  single machine this is exactly preemptive priority scheduling, which is the
+  setting in which SRPT, SWRPT, ... are analysed in the paper.
+* :class:`PlanBasedScheduler` -- schedulers that compute an explicit plan
+  (per-machine timelines of job segments) at certain events and then simply
+  follow it.  The off-line optimal algorithm, the LP-based on-line heuristics
+  and the MCT greedy strategies fall in this family.
+* Free-form schedulers deriving directly from :class:`Scheduler`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.schedule import Schedule
+from repro.simulation.state import Assignment, JobRuntime, SchedulerState
+
+__all__ = ["Scheduler", "PriorityScheduler", "PlanBasedScheduler", "PlanSegment"]
+
+
+class Scheduler(ABC):
+    """Interface between the simulation engine and a scheduling strategy."""
+
+    #: Human-readable name used in result tables.
+    name: str = "scheduler"
+
+    def reset(self, instance: Instance) -> None:
+        """Called once before the simulation starts.
+
+        Off-line strategies (which know the whole instance in advance) build
+        their plan here; on-line strategies typically only record the
+        instance for later use.
+        """
+
+    def on_arrival(self, state: SchedulerState, job: Job) -> None:
+        """Called when ``job`` is released (after it was added to ``state``)."""
+
+    def on_completion(self, state: SchedulerState, job_id: int) -> None:
+        """Called when a job completes."""
+
+    @abstractmethod
+    def assign(self, state: SchedulerState) -> Assignment:
+        """Return the machine->job assignment to apply from ``state.time`` on."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PriorityScheduler(Scheduler):
+    """Greedy list scheduling driven by a per-job priority key.
+
+    Subclasses implement :meth:`priority`; lower keys mean higher priority.
+    At every decision point the active jobs are sorted by priority and the
+    rule of Section 3 is applied: while some processors are idle, pick the
+    highest-priority not-yet-served job and give it every available processor
+    able to serve it.
+    """
+
+    def __init__(self) -> None:
+        self.instance: Instance | None = None
+
+    def reset(self, instance: Instance) -> None:
+        self.instance = instance
+
+    @abstractmethod
+    def priority(self, state: SchedulerState, runtime: JobRuntime) -> float:
+        """Priority key of an active job (smaller = more urgent)."""
+
+    def assign(self, state: SchedulerState) -> Assignment:
+        instance = state.instance
+        order = sorted(
+            state.active_jobs(),
+            key=lambda rt: (self.priority(state, rt), rt.job_id),
+        )
+        available = set(instance.platform.ids())
+        mapping: dict[int, int] = {}
+        for runtime in order:
+            if not available:
+                break
+            eligible = [
+                m for m in instance.eligible_machine_ids(runtime.job_id) if m in available
+            ]
+            if not eligible:
+                continue
+            for machine_id in eligible:
+                mapping[machine_id] = runtime.job_id
+                available.discard(machine_id)
+        return Assignment(mapping=mapping)
+
+
+@dataclass(frozen=True)
+class PlanSegment:
+    """A planned dedication of one machine to one job over a time interval."""
+
+    machine_id: int
+    job_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(
+                f"plan segment for job {self.job_id} on machine {self.machine_id} "
+                f"has non-positive duration"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class PlanBasedScheduler(Scheduler):
+    """A scheduler that follows an explicit per-machine plan.
+
+    Subclasses populate the plan by calling :meth:`set_plan`,
+    :meth:`extend_plan` or :meth:`clear_plan_from` (typically from
+    :meth:`reset` or :meth:`on_arrival`); :meth:`assign` then simply reads
+    the plan.
+    """
+
+    def __init__(self) -> None:
+        self.instance: Instance | None = None
+        self._plan: dict[int, list[PlanSegment]] = {}
+
+    def reset(self, instance: Instance) -> None:
+        self.instance = instance
+        self._plan = {m.machine_id: [] for m in instance.platform}
+
+    # -- plan manipulation ---------------------------------------------------------
+    def set_plan(self, segments: Iterable[PlanSegment]) -> None:
+        """Replace the whole plan."""
+        assert self.instance is not None
+        self._plan = {m.machine_id: [] for m in self.instance.platform}
+        self.extend_plan(segments)
+
+    def extend_plan(self, segments: Iterable[PlanSegment]) -> None:
+        """Append segments to the plan (kept sorted by start time)."""
+        for segment in segments:
+            per_machine = self._plan.setdefault(segment.machine_id, [])
+            per_machine.append(segment)
+        for per_machine in self._plan.values():
+            per_machine.sort(key=lambda s: s.start)
+
+    def clear_plan_from(self, time: float) -> None:
+        """Drop every planned segment that starts at or after ``time``.
+
+        Segments straddling ``time`` are truncated; used by on-line
+        strategies that re-plan at each release date.
+        """
+        for machine_id, per_machine in self._plan.items():
+            kept: list[PlanSegment] = []
+            for segment in per_machine:
+                if segment.end <= time + 1e-12:
+                    kept.append(segment)
+                elif segment.start < time - 1e-12:
+                    kept.append(
+                        PlanSegment(
+                            machine_id=segment.machine_id,
+                            job_id=segment.job_id,
+                            start=segment.start,
+                            end=time,
+                        )
+                    )
+                # Segments starting after ``time`` are dropped.
+            self._plan[machine_id] = kept
+
+    def plan_segments(self, machine_id: int | None = None) -> list[PlanSegment]:
+        """The current plan (for inspection and testing)."""
+        if machine_id is not None:
+            return list(self._plan.get(machine_id, []))
+        return [s for per_machine in self._plan.values() for s in per_machine]
+
+    def plan_horizon(self, machine_id: int, time: float) -> float:
+        """Earliest date >= ``time`` at which the machine becomes free in the plan."""
+        horizon = time
+        for segment in self._plan.get(machine_id, []):
+            if segment.end <= horizon + 1e-12:
+                continue
+            if segment.start > horizon + 1e-12:
+                break
+            horizon = segment.end
+        return horizon
+
+    # -- plan following -----------------------------------------------------------------
+    def assign(self, state: SchedulerState) -> Assignment:
+        time = state.time
+        mapping: dict[int, int] = {}
+        breakpoints: list[float] = []
+        for machine_id, per_machine in self._plan.items():
+            current: PlanSegment | None = None
+            upcoming: PlanSegment | None = None
+            for segment in per_machine:
+                if segment.end <= time + 1e-12:
+                    continue
+                if not state.is_active(segment.job_id):
+                    # The job finished (slightly) earlier than planned; skip
+                    # its leftover segments.
+                    continue
+                if segment.start <= time + 1e-12:
+                    current = segment
+                else:
+                    upcoming = segment
+                break_found = current is not None or upcoming is not None
+                if break_found:
+                    break
+            if current is not None:
+                mapping[machine_id] = current.job_id
+                breakpoints.append(current.end)
+            elif upcoming is not None:
+                breakpoints.append(upcoming.start)
+        valid_until = min(breakpoints) if breakpoints else None
+        return Assignment(mapping=mapping, valid_until=valid_until)
+
+    # -- helpers for subclasses --------------------------------------------------------
+    @staticmethod
+    def segments_from_schedule(schedule: Schedule) -> list[PlanSegment]:
+        """Convert a materialized :class:`Schedule` into plan segments."""
+        return [
+            PlanSegment(
+                machine_id=s.machine_id, job_id=s.job_id, start=s.start, end=s.end
+            )
+            for s in schedule
+        ]

@@ -1,0 +1,117 @@
+"""Greedy minimum-completion-time strategies (the production GriPPS policy).
+
+``MCT`` assigns each arriving job, in its entirety, to the machine that would
+complete it first given the work already queued there; the decision is never
+revisited (non-preemptive, non-divisible).  This models the scheduler
+deployed in the GriPPS system at the time of the paper and is the main
+"anti-pattern" of Section 5.3: small jobs arriving behind a large one are
+stretched enormously.
+
+``MCT-Div`` keeps the greedy, irrevocable spirit but exploits divisibility:
+the arriving job is spread over all the machines able to serve it so that it
+completes as early as possible (a water-filling over the machines' earliest
+availability dates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.simulation.state import SchedulerState
+from repro.schedulers.base import PlanBasedScheduler, PlanSegment
+
+__all__ = ["MCTScheduler", "MCTDivScheduler"]
+
+
+class MCTScheduler(PlanBasedScheduler):
+    """Minimum completion time, whole job on a single machine."""
+
+    name = "MCT"
+
+    def on_arrival(self, state: SchedulerState, job: Job) -> None:
+        instance = state.instance
+        now = state.time
+        best_machine = None
+        best_completion = math.inf
+        for machine in instance.eligible_machines(job.job_id):
+            available = self.plan_horizon(machine.machine_id, now)
+            completion = max(available, now) + job.size * machine.cycle_time
+            if completion < best_completion - 1e-15:
+                best_completion = completion
+                best_machine = machine
+        if best_machine is None:  # pragma: no cover - instances are validated upstream
+            raise RuntimeError(f"no eligible machine for job {job.job_id}")
+        start = max(self.plan_horizon(best_machine.machine_id, now), now)
+        self.extend_plan(
+            [
+                PlanSegment(
+                    machine_id=best_machine.machine_id,
+                    job_id=job.job_id,
+                    start=start,
+                    end=best_completion,
+                )
+            ]
+        )
+
+
+class MCTDivScheduler(PlanBasedScheduler):
+    """Minimum completion time exploiting divisibility (still non-preemptive)."""
+
+    name = "MCT-Div"
+
+    def on_arrival(self, state: SchedulerState, job: Job) -> None:
+        instance = state.instance
+        now = state.time
+        machines = instance.eligible_machines(job.job_id)
+        availability = [
+            max(self.plan_horizon(m.machine_id, now), now) for m in machines
+        ]
+        completion = _water_filling_completion(
+            job.size, [m.speed for m in machines], availability
+        )
+        segments = []
+        for machine, available in zip(machines, availability):
+            if completion > available + 1e-15:
+                segments.append(
+                    PlanSegment(
+                        machine_id=machine.machine_id,
+                        job_id=job.job_id,
+                        start=available,
+                        end=completion,
+                    )
+                )
+        self.extend_plan(segments)
+
+
+def _water_filling_completion(
+    work: float, speeds: Sequence[float], availability: Sequence[float]
+) -> float:
+    """Earliest common completion date of ``work`` spread over the machines.
+
+    Machine ``i`` becomes available at ``availability[i]`` and then processes
+    at ``speeds[i]``; the job completes at the smallest ``T`` such that
+    ``sum_i speeds[i] * max(0, T - availability[i]) = work``.
+    """
+    if not speeds:
+        raise ValueError("at least one machine is required")
+    order = sorted(range(len(speeds)), key=lambda i: availability[i])
+    active_speed = 0.0
+    remaining = work
+    current = availability[order[0]]
+    for rank, idx in enumerate(order):
+        # Advance from the previous availability date to this one using the
+        # machines already active.
+        gap = availability[idx] - current
+        if gap > 0 and active_speed > 0:
+            doable = active_speed * gap
+            if doable >= remaining:
+                return current + remaining / active_speed
+            remaining -= doable
+            current = availability[idx]
+        else:
+            current = max(current, availability[idx])
+        active_speed += speeds[idx]
+    return current + remaining / active_speed

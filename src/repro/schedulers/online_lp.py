@@ -1,0 +1,202 @@
+"""The LP-based on-line heuristics of Section 4.3.2.
+
+At every release date the scheduler
+
+1. preempts everything (implicit: the plan is recomputed from scratch),
+2. computes the best max-stretch :math:`S^*` still achievable *given the
+   work already performed* (System (1) restricted to the remaining work of
+   the active jobs),
+3. re-optimizes a sum-stretch-like relaxation under the constraint that
+   :math:`S^*` is preserved (System (2)), unless the non-optimized variant is
+   selected, and
+4. turns the LP allocation into an executable plan, in one of three ways:
+
+   * **Online** -- inside each (interval, processor) the jobs completing
+     their share there ("terminal jobs") run first under the SWRPT order,
+     followed by the non-terminal jobs;
+   * **Online-EDF** -- per processor, the total shares are list-scheduled in
+     the order of the interval in which each share completes (ties broken by
+     SWRPT);
+   * **Online-EGDF** -- a single global priority list (ordered by the
+     interval in which the job's total work completes, ties broken by SWRPT)
+     is used with the greedy restricted-availability rule of Section 3.
+
+The *non-optimized* variant (``variant="online-nonopt"``) skips step 3 and
+directly materializes the System (1) allocation; Figure 3 of the paper
+compares it against the optimized version.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.lp.aggregation import (
+    edf_order,
+    materialize_solution,
+    split_work_across_machines,
+    swrpt_terminal_order,
+)
+from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
+from repro.lp.problem import problem_from_instance
+from repro.lp.relaxation import reoptimize_allocation
+from repro.simulation.state import Assignment, SchedulerState
+from repro.schedulers.base import PlanBasedScheduler, PlanSegment
+
+__all__ = ["OnlineLPScheduler"]
+
+Variant = Literal["online", "online-edf", "online-egdf", "online-nonopt"]
+
+_VARIANT_NAMES = {
+    "online": "Online",
+    "online-edf": "Online-EDF",
+    "online-egdf": "Online-EGDF",
+    "online-nonopt": "Online (non-opt.)",
+}
+
+
+class OnlineLPScheduler(PlanBasedScheduler):
+    """On-line max-stretch heuristic built on Systems (1) and (2).
+
+    Parameters
+    ----------
+    variant:
+        One of ``"online"``, ``"online-edf"``, ``"online-egdf"`` or
+        ``"online-nonopt"`` (see module docstring).
+    """
+
+    def __init__(self, variant: Variant = "online"):
+        super().__init__()
+        if variant not in _VARIANT_NAMES:
+            raise ValueError(f"unknown variant {variant!r}")
+        self.variant: Variant = variant
+        self.name = _VARIANT_NAMES[variant]
+        #: Best achievable max-stretch computed at the last release date.
+        self.last_objective: float | None = None
+        #: Number of LP re-optimizations performed.
+        self.n_resolutions = 0
+        self._egdf_rank: dict[int, tuple[float, ...]] = {}
+
+    # -- event handling ------------------------------------------------------------
+    def reset(self, instance: Instance) -> None:
+        super().reset(instance)
+        self.last_objective = None
+        self.n_resolutions = 0
+        self._egdf_rank = {}
+
+    def on_arrival(self, state: SchedulerState, job: Job) -> None:
+        self._replan(state)
+
+    def _replan(self, state: SchedulerState) -> None:
+        instance = state.instance
+        now = state.time
+        remaining = state.remaining_map()
+        if not remaining:
+            self.set_plan([])
+            return
+
+        # Step 2: best achievable max-stretch given the decisions already made.
+        problem = problem_from_instance(instance, now=now, remaining=remaining)
+        best = minimize_max_weighted_flow(problem)
+        self.last_objective = best.objective
+        self.n_resolutions += 1
+
+        if self.variant == "online-nonopt":
+            solution = best
+        else:
+            # Step 3: System (2) re-optimization at fixed max-stretch.
+            solution = reoptimize_allocation(problem, best.objective)
+
+        # Step 4: build the executable plan.
+        if self.variant == "online-egdf":
+            self._egdf_rank = self._global_priorities(solution)
+            self.set_plan([])  # the EGDF variant does not follow a plan
+        elif self.variant == "online-edf":
+            self.set_plan(self._per_processor_list_plan(solution, instance, now))
+        elif self.variant == "online-nonopt":
+            schedule = materialize_solution(solution, instance, order_rule=edf_order)
+            self.set_plan(self.segments_from_schedule(schedule))
+        else:  # "online"
+            schedule = materialize_solution(
+                solution, instance, order_rule=swrpt_terminal_order
+            )
+            self.set_plan(self.segments_from_schedule(schedule))
+
+    # -- EGDF: global priority list -------------------------------------------------
+    @staticmethod
+    def _global_priorities(solution: MaxStretchSolution) -> dict[int, tuple[float, ...]]:
+        """Rank jobs by the interval in which their total work completes."""
+        ranks: dict[int, tuple[float, ...]] = {}
+        for lp_job in solution.problem.jobs:
+            try:
+                completion_interval = float(solution.completion_interval(lp_job.job_id))
+            except KeyError:
+                completion_interval = float(len(solution.interval_bounds))
+            swrpt_key = lp_job.flow_factor * lp_job.remaining_work
+            ranks[lp_job.job_id] = (completion_interval, swrpt_key, float(lp_job.job_id))
+        return ranks
+
+    # -- Online-EDF: per-processor list scheduling ------------------------------------
+    def _per_processor_list_plan(
+        self,
+        solution: MaxStretchSolution,
+        instance: Instance,
+        now: float,
+    ) -> list[PlanSegment]:
+        segments: list[PlanSegment] = []
+        for resource in solution.problem.resources:
+            jobs_here = solution.jobs_on_resource(resource.index)
+            if not jobs_here:
+                continue
+
+            def order_key(job_id: int) -> tuple[float, float, int]:
+                completion = solution.completion_interval_on_resource(job_id, resource.index)
+                lp_job = solution.problem.job_by_id(job_id)
+                return (
+                    float(completion if completion is not None else math.inf),
+                    lp_job.flow_factor * lp_job.remaining_work,
+                    job_id,
+                )
+
+            cursor = now
+            for job_id in sorted(jobs_here, key=order_key):
+                work = solution.work_for_job_on_resource(job_id, resource.index)
+                if work <= 0:
+                    continue
+                duration = work / resource.speed
+                end = cursor + duration
+                for machine_id in resource.machine_ids:
+                    segments.append(
+                        PlanSegment(
+                            machine_id=machine_id, job_id=job_id, start=cursor, end=end
+                        )
+                    )
+                cursor = end
+        return segments
+
+    # -- assignment --------------------------------------------------------------------
+    def assign(self, state: SchedulerState) -> Assignment:
+        if self.variant != "online-egdf":
+            return super().assign(state)
+        # Greedy restricted-availability rule with the stored global priorities.
+        instance = state.instance
+        order = sorted(
+            state.active_jobs(),
+            key=lambda rt: self._egdf_rank.get(
+                rt.job_id, (math.inf, math.inf, float(rt.job_id))
+            ),
+        )
+        available = set(instance.platform.ids())
+        mapping: dict[int, int] = {}
+        for runtime in order:
+            if not available:
+                break
+            eligible = [
+                m for m in instance.eligible_machine_ids(runtime.job_id) if m in available
+            ]
+            for machine_id in eligible:
+                mapping[machine_id] = runtime.job_id
+                available.discard(machine_id)
+        return Assignment(mapping=mapping)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation of divisible-load execution.
+
+This subpackage replaces the SimGrid toolkit used in the paper.  Because the
+application model has negligible communication costs and linear divisible
+work, execution between two scheduling decisions is *fluid*: each machine is
+dedicated to (at most) one job and the job's remaining work decreases at the
+sum of its assigned machines' speeds.  Completion dates are therefore
+computed exactly, with no time-stepping error.
+"""
+
+from repro.simulation.state import Assignment, JobRuntime, SchedulerState
+from repro.simulation.events import (
+    ArrivalEvent,
+    CompletionEvent,
+    DecisionEvent,
+    SimulationEvent,
+)
+from repro.simulation.engine import SimulationEngine, simulate
+from repro.simulation.result import SimulationResult
+
+__all__ = [
+    "Assignment",
+    "JobRuntime",
+    "SchedulerState",
+    "SimulationEvent",
+    "ArrivalEvent",
+    "CompletionEvent",
+    "DecisionEvent",
+    "SimulationEngine",
+    "simulate",
+    "SimulationResult",
+]

@@ -1,0 +1,298 @@
+"""The fluid discrete-event simulation engine.
+
+The engine advances simulated time from scheduling decision to scheduling
+decision.  A decision is an :class:`~repro.simulation.state.Assignment`
+mapping machines to jobs; between decisions each assigned machine is fully
+dedicated to its job, so a job's remaining work decreases at the sum of the
+speeds of its assigned machines and the next completion date can be computed
+in closed form.  Decisions are requested:
+
+* when a job arrives,
+* when a job completes,
+* when the current assignment's ``valid_until`` horizon is reached (used by
+  plan-based schedulers whose plans contain internal breakpoints).
+
+The engine also records the wall-clock time spent inside scheduler callbacks,
+which reproduces the scheduling-overhead comparison of Section 5.3.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.errors import ModelError, ScheduleError
+from repro.core.instance import Instance
+from repro.core.schedule import Schedule, WorkSlice
+from repro.simulation.events import ArrivalEvent, CompletionEvent, DecisionEvent, SimulationEvent
+from repro.simulation.result import SimulationResult
+from repro.simulation.state import Assignment, SchedulerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedulers.base import Scheduler
+
+__all__ = ["SimulationEngine", "simulate"]
+
+#: Relative tolerance under which a job's remaining work counts as zero.
+_COMPLETION_TOL = 1e-9
+#: Number of consecutive zero-length steps tolerated before declaring a
+#: scheduler live-lock.
+_MAX_STALL = 1000
+
+
+class SimulationEngine:
+    """Runs one scheduler against one instance."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        scheduler: "Scheduler",
+        *,
+        record_events: bool = False,
+    ):
+        self.instance = instance
+        self.scheduler = scheduler
+        self.record_events = record_events
+        self.state = SchedulerState(instance)
+        self._slices: list[WorkSlice] = []
+        self._events: list[SimulationEvent] = []
+        self._scheduler_time = 0.0
+        self._n_decisions = 0
+
+    # -- public API ---------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Simulate until every job has completed and return the result."""
+        instance, state = self.instance, self.state
+        pending = list(instance.jobs)  # already sorted by release date
+        next_arrival_idx = 0
+        n_jobs = len(pending)
+
+        start = _time.perf_counter()
+        self._call(self.scheduler.reset, instance)
+        self._scheduler_time += _time.perf_counter() - start
+
+        state.time = pending[0].release if pending else 0.0
+        stall_count = 0
+        # Generous safety bound: every event (arrival, completion, plan
+        # breakpoint) should trigger a handful of steps at most.
+        max_steps = 1000 + 200 * (n_jobs + 1) * (len(instance.platform) + 1)
+        steps = 0
+
+        while True:
+            steps += 1
+            if steps > max_steps:
+                raise ScheduleError(
+                    f"simulation exceeded {max_steps} steps; the scheduler "
+                    f"({self.scheduler.name}) appears to be live-locked"
+                )
+
+            # 1. Release every job whose release date has been reached.
+            while (
+                next_arrival_idx < n_jobs
+                and pending[next_arrival_idx].release <= state.time + 1e-12
+            ):
+                job = pending[next_arrival_idx]
+                next_arrival_idx += 1
+                state.release(job)
+                if self.record_events:
+                    self._events.append(
+                        ArrivalEvent(time=state.time, job_id=job.job_id, size=job.size,
+                                     databank=job.databank)
+                    )
+                self._timed(self.scheduler.on_arrival, state, job)
+
+            next_arrival = (
+                pending[next_arrival_idx].release if next_arrival_idx < n_jobs else math.inf
+            )
+
+            # 2. Termination / idle handling.
+            if not state.active:
+                if next_arrival_idx >= n_jobs:
+                    break
+                state.time = next_arrival
+                continue
+
+            # 3. Ask the scheduler for an assignment.
+            assignment = self._timed(self.scheduler.assign, state)
+            if assignment is None:
+                assignment = Assignment.idle()
+            self._validate_assignment(assignment)
+            self._n_decisions += 1
+            if self.record_events:
+                self._events.append(
+                    DecisionEvent(
+                        time=state.time,
+                        assignment=tuple(sorted(assignment.mapping.items())),
+                        n_active=state.n_active(),
+                    )
+                )
+
+            # 4. Compute the processing rate of every active job.
+            rates: dict[int, float] = {}
+            for machine_id, job_id in assignment.mapping.items():
+                speed = instance.machine(machine_id).speed
+                rates[job_id] = rates.get(job_id, 0.0) + speed
+
+            # 5. Horizon of this step: next arrival, scheduler horizon, or the
+            # earliest completion under the current rates.
+            horizon = next_arrival
+            if assignment.valid_until is not None:
+                horizon = min(horizon, max(assignment.valid_until, state.time))
+            earliest_completion = math.inf
+            for job_id, rate in rates.items():
+                if rate <= 0:
+                    continue
+                remaining = state.active[job_id].remaining
+                earliest_completion = min(earliest_completion, state.time + remaining / rate)
+            step_end = min(horizon, earliest_completion)
+
+            if math.isinf(step_end):
+                # Nothing is running and nothing will ever arrive: the
+                # scheduler abandoned the remaining jobs.
+                raise ScheduleError(
+                    f"scheduler {self.scheduler.name} left jobs "
+                    f"{sorted(state.active)} unscheduled with no future event"
+                )
+
+            if step_end <= state.time + 1e-15:
+                stall_count += 1
+                if stall_count > _MAX_STALL:
+                    raise ScheduleError(
+                        f"scheduler {self.scheduler.name} produced {_MAX_STALL} "
+                        f"consecutive zero-length steps at t={state.time}"
+                    )
+            else:
+                stall_count = 0
+
+            # 6. Advance execution to ``step_end``.
+            self._advance(assignment, rates, state.time, step_end)
+            state.time = step_end
+
+            # 7. Complete finished jobs.
+            self._collect_completions()
+
+        schedule = Schedule(_merge_adjacent(self._slices))
+        return SimulationResult(
+            instance=instance,
+            scheduler_name=self.scheduler.name,
+            schedule=schedule,
+            completions=dict(state.completions),
+            scheduler_time=self._scheduler_time,
+            n_decisions=self._n_decisions,
+            events=tuple(self._events),
+        )
+
+    # -- internals --------------------------------------------------------------------
+    def _validate_assignment(self, assignment: Assignment) -> None:
+        state = self.state
+        for machine_id, job_id in assignment.mapping.items():
+            try:
+                machine = self.instance.machine(machine_id)
+            except KeyError:
+                raise ScheduleError(f"assignment references unknown machine {machine_id}")
+            if job_id not in state.active:
+                raise ScheduleError(
+                    f"assignment references job {job_id} which is not active at t={state.time}"
+                )
+            job = state.active[job_id].job
+            if not machine.hosts(job.databank):
+                raise ScheduleError(
+                    f"machine {machine_id} cannot process job {job_id} "
+                    f"(databank {job.databank!r} not hosted)"
+                )
+
+    def _advance(
+        self,
+        assignment: Assignment,
+        rates: dict[int, float],
+        start: float,
+        end: float,
+    ) -> None:
+        """Execute the assignment over ``[start, end]`` and record slices."""
+        duration = end - start
+        if duration <= 0:
+            return
+        state = self.state
+        for machine_id, job_id in assignment.mapping.items():
+            speed = self.instance.machine(machine_id).speed
+            work = speed * duration
+            runtime = state.active[job_id]
+            if runtime.first_service is None:
+                runtime.first_service = start
+            self._slices.append(
+                WorkSlice(job_id=job_id, machine_id=machine_id, start=start, end=end, work=work)
+            )
+        for job_id, rate in rates.items():
+            runtime = state.active[job_id]
+            runtime.remaining = max(0.0, runtime.remaining - rate * duration)
+
+    def _collect_completions(self) -> None:
+        state = self.state
+        finished = [
+            job_id
+            for job_id, runtime in state.active.items()
+            if runtime.remaining <= _COMPLETION_TOL * max(1.0, runtime.job.size)
+        ]
+        for job_id in sorted(finished):
+            runtime = state.active[job_id]
+            state.complete(job_id, state.time)
+            if self.record_events:
+                flow = state.time - runtime.job.release
+                stretch = flow / self.instance.ideal_time(job_id)
+                self._events.append(
+                    CompletionEvent(time=state.time, job_id=job_id, flow=flow, stretch=stretch)
+                )
+            self._timed(self.scheduler.on_completion, state, job_id)
+
+    def _timed(self, fn, *args):
+        start = _time.perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            self._scheduler_time += _time.perf_counter() - start
+
+    def _call(self, fn, *args):
+        return fn(*args)
+
+
+def _merge_adjacent(slices: Iterable[WorkSlice]) -> list[WorkSlice]:
+    """Merge back-to-back slices of the same job on the same machine.
+
+    The engine creates one slice per step; consecutive steps often keep the
+    same assignment, so merging keeps schedules compact without changing any
+    derived quantity.
+    """
+    merged: dict[int, list[WorkSlice]] = {}
+    for s in sorted(slices, key=lambda s: (s.machine_id, s.start)):
+        per_machine = merged.setdefault(s.machine_id, [])
+        if (
+            per_machine
+            and per_machine[-1].job_id == s.job_id
+            and abs(per_machine[-1].end - s.start) <= 1e-12 * max(1.0, abs(s.start))
+        ):
+            last = per_machine[-1]
+            per_machine[-1] = WorkSlice(
+                job_id=last.job_id,
+                machine_id=last.machine_id,
+                start=last.start,
+                end=s.end,
+                work=last.work + s.work,
+            )
+        else:
+            per_machine.append(s)
+    out: list[WorkSlice] = []
+    for per_machine in merged.values():
+        out.extend(per_machine)
+    return out
+
+
+def simulate(
+    instance: Instance,
+    scheduler: "Scheduler",
+    *,
+    record_events: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: run ``scheduler`` on ``instance`` and return the result."""
+    engine = SimulationEngine(instance, scheduler, record_events=record_events)
+    return engine.run()

@@ -1,0 +1,58 @@
+"""Event records kept in the simulation trace.
+
+The trace is optional (it costs memory on large campaigns) and primarily
+serves the examples, the CLI ``--trace`` option and debugging of new
+schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimulationEvent", "ArrivalEvent", "CompletionEvent", "DecisionEvent"]
+
+
+@dataclass(frozen=True)
+class SimulationEvent:
+    """Base class for trace events (time-stamped)."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class ArrivalEvent(SimulationEvent):
+    """A job entered the system."""
+
+    job_id: int = -1
+    size: float = 0.0
+    databank: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time:10.3f}] arrival    J{self.job_id} (size={self.size:.3f})"
+
+
+@dataclass(frozen=True)
+class CompletionEvent(SimulationEvent):
+    """A job finished."""
+
+    job_id: int = -1
+    flow: float = 0.0
+    stretch: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.time:10.3f}] completion J{self.job_id} "
+            f"(flow={self.flow:.3f}s, stretch={self.stretch:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class DecisionEvent(SimulationEvent):
+    """The scheduler produced a new assignment."""
+
+    assignment: tuple[tuple[int, int], ...] = ()
+    n_active: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"M{m}->J{j}" for m, j in self.assignment) or "(all idle)"
+        return f"[{self.time:10.3f}] decision   {pairs}"

@@ -1,0 +1,99 @@
+"""Result object returned by the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import metrics as metrics_mod
+from repro.core.instance import Instance
+from repro.core.metrics import MetricsReport
+from repro.core.schedule import Schedule
+from repro.simulation.events import SimulationEvent
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one simulation run.
+
+    Attributes
+    ----------
+    instance:
+        The instance that was simulated.
+    scheduler_name:
+        Name of the scheduling strategy.
+    schedule:
+        The realized schedule (per-machine work slices).
+    completions:
+        ``job_id -> completion time``.
+    scheduler_time:
+        Wall-clock seconds spent inside the scheduler callbacks (the
+        "scheduling overhead" of Section 5.3).
+    n_decisions:
+        Number of assignments requested from the scheduler.
+    events:
+        Optional trace of arrivals/completions/decisions.
+    """
+
+    instance: Instance
+    scheduler_name: str
+    schedule: Schedule
+    completions: dict[int, float]
+    scheduler_time: float = 0.0
+    n_decisions: int = 0
+    events: tuple[SimulationEvent, ...] = ()
+
+    _report: MetricsReport | None = field(default=None, repr=False, compare=False)
+
+    # -- metrics -----------------------------------------------------------------
+    def report(self) -> MetricsReport:
+        """The full metric report (cached)."""
+        if self._report is None:
+            self._report = metrics_mod.evaluate(self.instance, self.completions)
+        return self._report
+
+    @property
+    def max_stretch(self) -> float:
+        return self.report().max_stretch
+
+    @property
+    def sum_stretch(self) -> float:
+        return self.report().sum_stretch
+
+    @property
+    def max_flow(self) -> float:
+        return self.report().max_flow
+
+    @property
+    def sum_flow(self) -> float:
+        return self.report().sum_flow
+
+    @property
+    def makespan(self) -> float:
+        return self.report().makespan
+
+    def stretches(self) -> dict[int, float]:
+        """Per-job stretch values."""
+        return metrics_mod.stretches(self.instance, self.completions)
+
+    def flows(self) -> dict[int, float]:
+        """Per-job flow times."""
+        return metrics_mod.flow_times(self.instance, self.completions)
+
+    # -- presentation -----------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        rep = self.report()
+        return (
+            f"{self.scheduler_name}: max-stretch={rep.max_stretch:.4f} "
+            f"sum-stretch={rep.sum_stretch:.4f} max-flow={rep.max_flow:.3f}s "
+            f"makespan={rep.makespan:.3f}s "
+            f"(scheduler time {self.scheduler_time * 1e3:.2f} ms, "
+            f"{self.n_decisions} decisions)"
+        )
+
+    def trace_lines(self) -> list[str]:
+        """The formatted event trace (empty when tracing was disabled)."""
+        return [str(e) for e in self.events]

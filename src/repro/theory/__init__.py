@@ -1,0 +1,33 @@
+"""Numerical companions to the theoretical results of the paper.
+
+* :mod:`repro.theory.bounds` -- Theorem 2: SWRPT is not
+  :math:`(2-\\varepsilon)`-competitive for sum-stretch.  Provides the
+  closed-form sum-stretch predictions of Appendix A and a simulation-based
+  verification of the bound.
+* :mod:`repro.theory.starvation` -- Theorem 1: sum-based and max-based
+  objectives cannot be approximated simultaneously.  Provides the reference
+  schedules of the proof and a demonstration harness showing the starvation
+  of the large job under sum-oriented heuristics.
+"""
+
+from repro.theory.bounds import (
+    SWRPTBoundReport,
+    predicted_srpt_sum_stretch,
+    predicted_swrpt_sum_stretch,
+    swrpt_competitive_gap,
+)
+from repro.theory.starvation import (
+    StarvationReport,
+    starvation_analysis,
+    starvation_reference_metrics,
+)
+
+__all__ = [
+    "SWRPTBoundReport",
+    "predicted_srpt_sum_stretch",
+    "predicted_swrpt_sum_stretch",
+    "swrpt_competitive_gap",
+    "StarvationReport",
+    "starvation_reference_metrics",
+    "starvation_analysis",
+]

@@ -1,0 +1,97 @@
+"""Theorem 1: sum-based and max-based objectives are mutually exclusive.
+
+The proof exhibits the following instance: a job of size :math:`\\Delta`
+released at time 0, followed by ``k`` unit jobs released one per time unit.
+Two reference schedules matter:
+
+* the *sum-friendly* schedule processes every unit job at its release date
+  and the large job last; its sum-stretch is :math:`(1 + k/\\Delta) + k` and
+  its max-stretch :math:`1 + k/\\Delta` -- the large job starves as ``k``
+  grows;
+* the *max-friendly* schedule processes the large job first; every unit job
+  is then delayed by at most :math:`\\Delta`, so the max-stretch is at most
+  :math:`1 + \\Delta` independently of ``k``, while the sum-stretch grows
+  like :math:`k(1 + \\Delta)`.
+
+Any on-line algorithm with a non-trivial competitive ratio for the
+sum-stretch must behave like the first schedule (Theorem 1), so its
+max-stretch relative to the optimum grows like
+:math:`(\\Delta + k)/(\\Delta(\\Delta+1))`, unbounded in ``k``.  The
+:func:`starvation_analysis` helper simulates any set of schedulers on the
+instance and reports where each one lands between the two reference points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.simulation.engine import simulate
+from repro.schedulers.registry import make_scheduler
+from repro.workload.adversarial import starvation_instance
+
+__all__ = ["StarvationReport", "starvation_reference_metrics", "starvation_analysis"]
+
+
+@dataclass(frozen=True)
+class StarvationReport:
+    """Reference values and per-scheduler measurements on the Theorem 1 instance."""
+
+    delta: float
+    n_unit_jobs: int
+    #: Sum- and max-stretch of the sum-friendly reference schedule.
+    sum_friendly_sum_stretch: float
+    sum_friendly_max_stretch: float
+    #: Sum- and max-stretch of the max-friendly (large job first) schedule.
+    max_friendly_sum_stretch: float
+    max_friendly_max_stretch: float
+    #: Per-scheduler measured metrics: name -> (max_stretch, sum_stretch).
+    measured: dict[str, tuple[float, float]]
+
+    @property
+    def max_stretch_blowup(self) -> float:
+        """The ratio the proof exhibits: (Delta + k) / (Delta (Delta + 1))."""
+        return (self.delta + self.n_unit_jobs) / (self.delta * (self.delta + 1.0))
+
+
+def starvation_reference_metrics(delta: float, n_unit_jobs: int) -> dict[str, float]:
+    """Closed-form metrics of the two reference schedules of the proof."""
+    k = float(n_unit_jobs)
+    return {
+        "sum_friendly_sum_stretch": (1.0 + k / delta) + k,
+        "sum_friendly_max_stretch": 1.0 + k / delta,
+        # Large job first: unit job released at t completes at Delta + (t+1)
+        # (they queue behind each other once the large job is done), so its
+        # stretch is Delta + 1; the large job has stretch 1.
+        "max_friendly_sum_stretch": 1.0 + k * (1.0 + delta),
+        "max_friendly_max_stretch": 1.0 + delta,
+    }
+
+
+def starvation_analysis(
+    delta: float,
+    n_unit_jobs: int,
+    scheduler_keys: Iterable[str] = ("srpt", "swrpt", "fcfs", "offline", "online"),
+) -> StarvationReport:
+    """Simulate schedulers on the Theorem 1 instance and compare to the references.
+
+    Note that the max-friendly reference above assumes :math:`\\Delta \\ge k`
+    (all unit jobs are released before the large job completes); for larger
+    ``k`` it remains an upper bound on the optimal max-stretch used by the
+    proof's ratio.
+    """
+    instance = starvation_instance(delta, n_unit_jobs)
+    refs = starvation_reference_metrics(delta, n_unit_jobs)
+    measured: dict[str, tuple[float, float]] = {}
+    for key in scheduler_keys:
+        result = simulate(instance, make_scheduler(key))
+        measured[key] = (result.max_stretch, result.sum_stretch)
+    return StarvationReport(
+        delta=delta,
+        n_unit_jobs=n_unit_jobs,
+        sum_friendly_sum_stretch=refs["sum_friendly_sum_stretch"],
+        sum_friendly_max_stretch=refs["sum_friendly_max_stretch"],
+        max_friendly_sum_stretch=refs["max_friendly_sum_stretch"],
+        max_friendly_max_stretch=refs["max_friendly_max_stretch"],
+        measured=measured,
+    )

@@ -1,0 +1,22 @@
+"""Small shared utilities: seeding, validation helpers, text tables."""
+
+from repro.utils.seeding import spawn_rng, derive_seed
+from repro.utils.validation import (
+    require_positive,
+    require_non_negative,
+    require_in_range,
+    almost_equal,
+    almost_leq,
+)
+from repro.utils.textable import TextTable
+
+__all__ = [
+    "spawn_rng",
+    "derive_seed",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "almost_equal",
+    "almost_leq",
+    "TextTable",
+]

@@ -1,0 +1,70 @@
+"""Minimal fixed-width text table renderer.
+
+Used by :mod:`repro.experiments.tables`, the CLI and the benchmark harness to
+print result tables that mirror the layout of the tables in the paper
+(heuristic name, then Mean/SD/Max for max-stretch and sum-stretch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable"]
+
+
+@dataclass
+class TextTable:
+    """A small helper accumulating rows of cells and rendering them aligned.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    float_format:
+        ``format`` spec applied to float cells (default four decimals, like
+        the tables of the paper).
+    """
+
+    headers: Sequence[str]
+    float_format: str = ".4f"
+    rows: list[list[str]] = field(default_factory=list)
+    title: str | None = None
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; floats are formatted with :attr:`float_format`."""
+        formatted: list[str] = []
+        for cell in cells:
+            if isinstance(cell, float):
+                formatted.append(format(cell, self.float_format))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(formatted)
+
+    def render(self) -> str:
+        """Render the table as a fixed-width string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+                             for i, cell in enumerate(cells))
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header_line = fmt_row(list(self.headers))
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in self.rows:
+            lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,63 @@
+"""Validation helpers shared across the library.
+
+These are deliberately tiny functions; they exist so that model classes can
+raise uniform, informative error messages and so that floating-point
+comparisons throughout the scheduler/LP code share a single tolerance
+convention.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ABS_TOL",
+    "REL_TOL",
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "almost_equal",
+    "almost_leq",
+    "almost_geq",
+]
+
+#: Absolute tolerance used for schedule validation and LP post-processing.
+ABS_TOL = 1e-7
+#: Relative tolerance used when comparing quantities that scale with job size.
+REL_TOL = 1e-6
+
+
+def require_positive(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive and finite."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``value`` is finite and >= 0."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def almost_equal(a: float, b: float, *, abs_tol: float = ABS_TOL, rel_tol: float = REL_TOL) -> bool:
+    """Floating point equality with the library-wide tolerances."""
+    return math.isclose(a, b, abs_tol=abs_tol, rel_tol=rel_tol)
+
+
+def almost_leq(a: float, b: float, *, abs_tol: float = ABS_TOL, rel_tol: float = REL_TOL) -> bool:
+    """Return True when ``a <= b`` up to the library-wide tolerances."""
+    return a <= b or almost_equal(a, b, abs_tol=abs_tol, rel_tol=rel_tol)
+
+
+def almost_geq(a: float, b: float, *, abs_tol: float = ABS_TOL, rel_tol: float = REL_TOL) -> bool:
+    """Return True when ``a >= b`` up to the library-wide tolerances."""
+    return a >= b or almost_equal(a, b, abs_tol=abs_tol, rel_tol=rel_tol)

@@ -1,0 +1,54 @@
+"""Synthetic GriPPS-like platform and workload generation.
+
+The paper's simulation study is parameterized by six features (Section 5.1):
+platform size, processor power, number of databanks, databank size, databank
+availability and workload density.  This subpackage generates random
+platforms and workloads from those parameters, using the empirical ranges the
+paper reports (databank sizes between 10 MB and 1 GB, processor speeds drawn
+from six reference machines, Poisson job arrivals over a bounded submission
+window).
+
+It also provides the adversarial constructions used in the theory sections
+(Theorem 1 and Theorem 2).
+"""
+
+from repro.workload.gripps import (
+    DEFAULT_PROCESSORS_PER_CLUSTER,
+    MAX_DATABANK_MB,
+    MIN_DATABANK_MB,
+    REFERENCE_CYCLE_TIMES,
+    SUBMISSION_WINDOW_SECONDS,
+)
+from repro.workload.databanks import DatabankCatalog, generate_databanks
+from repro.workload.arrival import poisson_arrival_times
+from repro.workload.generator import (
+    PlatformSpec,
+    WorkloadSpec,
+    generate_instance,
+    generate_platform,
+    generate_workload,
+)
+from repro.workload.adversarial import (
+    starvation_instance,
+    swrpt_lower_bound_instance,
+    swrpt_lower_bound_parameters,
+)
+
+__all__ = [
+    "REFERENCE_CYCLE_TIMES",
+    "MIN_DATABANK_MB",
+    "MAX_DATABANK_MB",
+    "DEFAULT_PROCESSORS_PER_CLUSTER",
+    "SUBMISSION_WINDOW_SECONDS",
+    "DatabankCatalog",
+    "generate_databanks",
+    "poisson_arrival_times",
+    "PlatformSpec",
+    "WorkloadSpec",
+    "generate_platform",
+    "generate_workload",
+    "generate_instance",
+    "starvation_instance",
+    "swrpt_lower_bound_instance",
+    "swrpt_lower_bound_parameters",
+]

@@ -1,0 +1,107 @@
+"""Databank catalogue generation: sizes and replication across sites.
+
+Each databank gets a size drawn uniformly from the GriPPS range and is
+replicated on each site independently with probability ``availability``
+(paper, Section 5.1, feature 5).  Every databank is guaranteed to be hosted
+by at least one site -- a databank hosted nowhere would make its jobs
+unschedulable -- by assigning it one uniformly-chosen site when the Bernoulli
+draws leave it orphaned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.utils.seeding import spawn_rng
+from repro.workload.gripps import MAX_DATABANK_MB, MIN_DATABANK_MB
+
+__all__ = ["DatabankCatalog", "generate_databanks"]
+
+
+@dataclass(frozen=True)
+class DatabankCatalog:
+    """The databanks of one simulated system.
+
+    Attributes
+    ----------
+    sizes:
+        ``databank name -> size`` in megabytes (= job work for a request
+        targeting that databank).
+    hosting:
+        ``databank name -> tuple of cluster ids`` hosting a replica.
+    """
+
+    sizes: dict[str, float]
+    hosting: dict[str, tuple[int, ...]]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self.sizes))
+
+    def size_of(self, name: str) -> float:
+        return self.sizes[name]
+
+    def clusters_hosting(self, name: str) -> tuple[int, ...]:
+        return self.hosting[name]
+
+    def databanks_of_cluster(self, cluster_id: int) -> frozenset[str]:
+        """The databank names replicated on one cluster."""
+        return frozenset(
+            name for name, clusters in self.hosting.items() if cluster_id in clusters
+        )
+
+    def replication_factor(self, name: str) -> int:
+        return len(self.hosting[name])
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+
+def generate_databanks(
+    n_databanks: int,
+    n_clusters: int,
+    availability: float,
+    *,
+    rng: np.random.Generator | int | None = None,
+    min_size: float = MIN_DATABANK_MB,
+    max_size: float = MAX_DATABANK_MB,
+) -> DatabankCatalog:
+    """Generate a random databank catalogue.
+
+    Parameters
+    ----------
+    n_databanks:
+        Number of distinct reference databanks.
+    n_clusters:
+        Number of sites in the platform.
+    availability:
+        Probability, for each (databank, site) pair, that the site hosts a
+        replica of the databank (paper values: 0.3, 0.6, 0.9).
+    rng:
+        Random source (seed, generator or ``None``).
+    min_size, max_size:
+        Databank size range in megabytes.
+    """
+    if n_databanks <= 0:
+        raise ModelError("n_databanks must be positive")
+    if n_clusters <= 0:
+        raise ModelError("n_clusters must be positive")
+    if not (0.0 < availability <= 1.0):
+        raise ModelError(f"availability must lie in (0, 1], got {availability}")
+    if not (0 < min_size <= max_size):
+        raise ModelError("databank size range must satisfy 0 < min_size <= max_size")
+
+    rng = spawn_rng(rng)
+    sizes: dict[str, float] = {}
+    hosting: dict[str, tuple[int, ...]] = {}
+    for d in range(n_databanks):
+        name = f"db{d:02d}"
+        sizes[name] = float(rng.uniform(min_size, max_size))
+        replicas = [c for c in range(n_clusters) if rng.random() < availability]
+        if not replicas:
+            replicas = [int(rng.integers(0, n_clusters))]
+        hosting[name] = tuple(replicas)
+    return DatabankCatalog(sizes=sizes, hosting=hosting)

@@ -1,0 +1,51 @@
+"""Empirical constants calibrated on the GriPPS system.
+
+The paper derives two quantities from the GriPPS application logs and the
+benchmark study of [11]:
+
+* the processing speeds of six reference machines, and
+* the range of databank sizes (roughly 10 megabytes to 1 gigabyte).
+
+Neither the logs nor the original benchmark numbers are publicly available,
+so this module provides a *calibrated substitute*: cycle times (seconds per
+megabyte of databank scanned by one motif) chosen so that a request against a
+10 MB - 1 GB databank takes on the order of 3-60 seconds on a single
+processor, which is the job-length range the paper explores in Section 5.2,
+with a roughly 4x spread between the fastest and slowest reference machines
+(heterogeneity comparable to the clusters of the original study).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "REFERENCE_CYCLE_TIMES",
+    "MIN_DATABANK_MB",
+    "MAX_DATABANK_MB",
+    "DEFAULT_PROCESSORS_PER_CLUSTER",
+    "SUBMISSION_WINDOW_SECONDS",
+    "WORK_UNIT",
+]
+
+#: Cycle times (seconds per megabyte scanned) of the six reference machines.
+#: The spread (fastest to slowest ~3.75x) mirrors the heterogeneity of the
+#: six reference platforms benchmarked in the original GriPPS study.
+REFERENCE_CYCLE_TIMES: tuple[float, ...] = (0.012, 0.016, 0.021, 0.027, 0.036, 0.045)
+
+#: Databank size range, in megabytes (paper, Section 5.3: "database sizes vary
+#: continuously over a range of 10 megabytes to 1 gigabyte").
+MIN_DATABANK_MB: float = 10.0
+MAX_DATABANK_MB: float = 1024.0
+
+#: Number of processors per site (paper, Section 5.1: "we arbitrarily define
+#: each site to contain 10 processors").
+DEFAULT_PROCESSORS_PER_CLUSTER: int = 10
+
+#: Length of the job submission window, in seconds (paper, Section 5.1:
+#: "jobs may arrive between the time at which the simulation starts and 15
+#: minutes thereafter").
+SUBMISSION_WINDOW_SECONDS: float = 15.0 * 60.0
+
+#: Unit of work used throughout the library: one megabyte of databank scanned
+#: by one motif.  A job's size is therefore the size (in MB) of the databank
+#: it targets.
+WORK_UNIT: str = "MB"

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small: LP-based schedulers are exercised on
+instances of at most a dozen jobs so that the whole suite stays fast, while
+property-based tests (see ``test_properties.py``) widen the coverage with
+randomly generated instances of the same scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+
+
+@pytest.fixture
+def single_machine_platform() -> Platform:
+    """One unit-speed machine hosting a single databank."""
+    return Platform.single_machine(1.0, databanks=["db"])
+
+
+@pytest.fixture
+def uniform_platform() -> Platform:
+    """Three machines of different speeds, all hosting the databank."""
+    return Platform.uniform([1.0, 0.5, 0.25], databanks=["db"])
+
+
+@pytest.fixture
+def restricted_platform() -> Platform:
+    """Two sites with different databank sets (restricted availability)."""
+    machines = [
+        Machine(0, cycle_time=1.0, cluster_id=0, databanks=frozenset({"a"})),
+        Machine(1, cycle_time=1.0, cluster_id=0, databanks=frozenset({"a"})),
+        Machine(2, cycle_time=0.5, cluster_id=1, databanks=frozenset({"a", "b"})),
+        Machine(3, cycle_time=2.0, cluster_id=2, databanks=frozenset({"b"})),
+    ]
+    return Platform(machines)
+
+
+@pytest.fixture
+def simple_jobs() -> list[Job]:
+    """Three jobs with staggered releases on databank 'db'."""
+    return [
+        Job(0, release=0.0, size=10.0, databank="db"),
+        Job(1, release=1.0, size=2.0, databank="db"),
+        Job(2, release=2.5, size=1.0, databank="db"),
+    ]
+
+
+@pytest.fixture
+def uniprocessor_instance(single_machine_platform, simple_jobs) -> Instance:
+    return Instance(simple_jobs, single_machine_platform)
+
+
+@pytest.fixture
+def uniform_instance(uniform_platform, simple_jobs) -> Instance:
+    return Instance(simple_jobs, uniform_platform)
+
+
+@pytest.fixture
+def restricted_instance(restricted_platform) -> Instance:
+    """Twelve jobs alternating between the two databanks of the restricted platform."""
+    rng = np.random.default_rng(123)
+    jobs = []
+    t = 0.0
+    for i in range(12):
+        bank = "a" if i % 3 else "b"
+        t += float(rng.exponential(0.8))
+        jobs.append(Job(i, release=t, size=float(rng.uniform(0.5, 5.0)), databank=bank))
+    return Instance(jobs, restricted_platform)
+
+
+def make_uniform_instance(
+    sizes: list[float],
+    releases: list[float],
+    cycle_times: list[float] = (1.0,),
+    databank: str = "db",
+) -> Instance:
+    """Helper used across test modules to build small uniform instances."""
+    platform = Platform.uniform(list(cycle_times), databanks=[databank])
+    jobs = [
+        Job(i, release=float(r), size=float(s), databank=databank)
+        for i, (s, r) in enumerate(zip(sizes, releases))
+    ]
+    return Instance(jobs, platform)

@@ -1,0 +1,129 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.clusters == 3
+        assert "offline" in args.schedulers
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--schedulers", "definitely-not-a-scheduler"])
+
+    def test_campaign_arguments(self):
+        args = build_parser().parse_args(
+            ["campaign", "--replicates", "2", "--sites", "3", "--densities", "1.0", "2.0"]
+        )
+        assert args.replicates == 2
+        assert args.sites == [3]
+        assert args.densities == [1.0, 2.0]
+
+
+class TestCommands:
+    def test_simulate_runs(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--clusters", "2",
+                "--databanks", "2",
+                "--processors", "3",
+                "--window", "15",
+                "--max-jobs", "6",
+                "--schedulers", "swrpt", "mct",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SWRPT" in out and "MCT" in out
+        assert "max-stretch" in out
+
+    def test_simulate_with_trace_and_gantt(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--clusters", "1",
+                "--databanks", "1",
+                "--processors", "2",
+                "--window", "10",
+                "--max-jobs", "3",
+                "--schedulers", "srpt",
+                "--trace",
+                "--gantt",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "arrival" in out
+        assert "Gantt" in out
+
+    def test_campaign_runs_tiny(self, capsys, tmp_path):
+        csv_path = tmp_path / "records.csv"
+        code = main(
+            [
+                "campaign",
+                "--replicates", "1",
+                "--sites", "2",
+                "--databanks", "2",
+                "--availabilities", "0.6",
+                "--densities", "1.0",
+                "--window", "12",
+                "--max-jobs", "5",
+                "--schedulers", "swrpt", "srpt", "mct",
+                "--save-csv", str(csv_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert csv_path.exists()
+
+    def test_theorem1_command(self, capsys):
+        code = main(["theorem1", "--delta", "4", "--unit-jobs", "12",
+                     "--schedulers", "srpt", "fcfs"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 1" in out
+        assert "srpt" in out
+
+    def test_theorem2_command(self, capsys):
+        code = main(["theorem2", "--epsilon", "0.5", "--unit-jobs", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ratio" in out
+
+    def test_overhead_command(self, capsys):
+        code = main(["overhead", "--replicates", "1", "--window", "10", "--max-jobs", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Scheduler" in out
+
+    def test_figure3_command(self, capsys, monkeypatch):
+        # Shrink the density grid through the config helper to keep it fast.
+        import repro.cli as cli_mod
+
+        original = cli_mod.figure3_configurations
+
+        def small_grid(**kwargs):
+            kwargs["densities"] = (0.5, 1.5)
+            kwargs.setdefault("n_clusters", 2)
+            kwargs.setdefault("n_databanks", 2)
+            return original(**kwargs)
+
+        monkeypatch.setattr(cli_mod, "figure3_configurations", small_grid)
+        code = main(["figure3", "--replicates", "1", "--window", "10", "--max-jobs", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "density" in out

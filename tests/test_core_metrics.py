@@ -1,0 +1,134 @@
+"""Unit tests for :mod:`repro.core.metrics`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import metrics
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+
+
+@pytest.fixture
+def instance() -> Instance:
+    platform = Platform.uniform([1.0], databanks=["db"])
+    jobs = [
+        Job(0, release=0.0, size=4.0, databank="db"),
+        Job(1, release=2.0, size=1.0, databank="db"),
+    ]
+    return Instance(jobs, platform)
+
+
+@pytest.fixture
+def completions() -> dict[int, float]:
+    # Job 0 runs [0, 4]; job 1 runs [4, 5].
+    return {0: 4.0, 1: 5.0}
+
+
+class TestPerJobMetrics:
+    def test_flow_times(self, instance, completions):
+        flows = metrics.flow_times(instance, completions)
+        assert flows == {0: pytest.approx(4.0), 1: pytest.approx(3.0)}
+
+    def test_stretches(self, instance, completions):
+        stretches = metrics.stretches(instance, completions)
+        assert stretches[0] == pytest.approx(1.0)
+        assert stretches[1] == pytest.approx(3.0)
+
+    def test_weighted_flows_default_weights(self, instance, completions):
+        weighted = metrics.weighted_flows(instance, completions)
+        # Default weights are stretch weights, so values equal the stretches.
+        assert weighted[1] == pytest.approx(3.0)
+
+    def test_weighted_flows_custom_weights(self, instance, completions):
+        weighted = metrics.weighted_flows(instance, completions, weights={0: 2.0, 1: 10.0})
+        assert weighted[0] == pytest.approx(8.0)
+        assert weighted[1] == pytest.approx(30.0)
+
+    def test_missing_completion_rejected(self, instance):
+        with pytest.raises(ModelError):
+            metrics.flow_times(instance, {0: 4.0})
+
+    def test_completion_before_release_rejected(self, instance):
+        with pytest.raises(ModelError):
+            metrics.flow_times(instance, {0: 4.0, 1: 1.0})
+
+
+class TestScalarMetrics:
+    def test_makespan(self, instance, completions):
+        assert metrics.makespan(instance, completions) == pytest.approx(5.0)
+
+    def test_sums_and_maxima(self, instance, completions):
+        assert metrics.sum_flow(instance, completions) == pytest.approx(7.0)
+        assert metrics.max_flow(instance, completions) == pytest.approx(4.0)
+        assert metrics.mean_flow(instance, completions) == pytest.approx(3.5)
+        assert metrics.sum_stretch(instance, completions) == pytest.approx(4.0)
+        assert metrics.max_stretch(instance, completions) == pytest.approx(3.0)
+        assert metrics.mean_stretch(instance, completions) == pytest.approx(2.0)
+        assert metrics.sum_weighted_flow(instance, completions) == pytest.approx(4.0)
+        assert metrics.max_weighted_flow(instance, completions) == pytest.approx(3.0)
+
+    def test_evaluate_report(self, instance, completions):
+        report = metrics.evaluate(instance, completions)
+        assert report.makespan == pytest.approx(5.0)
+        assert report.sum_stretch == pytest.approx(4.0)
+        assert report.max_stretch == pytest.approx(3.0)
+        assert report.n_jobs == 2
+        as_dict = report.as_dict()
+        assert set(as_dict) >= {"makespan", "sum_stretch", "max_stretch", "n_jobs"}
+
+
+class TestNormalization:
+    def test_normalize_by_best(self):
+        values = {"a": 2.0, "b": 4.0, "c": 3.0}
+        normalized = metrics.normalize_by_best(values)
+        assert normalized == {"a": 1.0, "b": 2.0, "c": 1.5}
+
+    def test_normalize_empty(self):
+        assert metrics.normalize_by_best({}) == {}
+
+    def test_normalize_rejects_non_positive_best(self):
+        with pytest.raises(ModelError):
+            metrics.normalize_by_best({"a": 0.0})
+
+    def test_normalize_rejects_all_infinite(self):
+        with pytest.raises(ModelError):
+            metrics.normalize_by_best({"a": math.inf})
+
+    def test_degradations_with_reference(self):
+        result = metrics.degradations({"a": 2.0, "b": 3.0}, reference=2.0)
+        assert result == {"a": 1.0, "b": 1.5}
+
+    def test_degradations_without_reference_uses_best(self):
+        result = metrics.degradations({"a": 2.0, "b": 3.0})
+        assert result == {"a": 1.0, "b": 1.5}
+
+    def test_degradations_rejects_bad_reference(self):
+        with pytest.raises(ModelError):
+            metrics.degradations({"a": 1.0}, reference=0.0)
+
+
+class TestStretchDefinition:
+    def test_stretch_is_one_for_lonely_job_on_full_platform(self):
+        platform = Platform.uniform([1.0, 0.5], databanks=["db"])
+        instance = Instance([Job(0, release=3.0, size=6.0, databank="db")], platform)
+        # Aggregate speed is 3, ideal time is 2 -> completing at release + 2 gives stretch 1.
+        stretches = metrics.stretches(instance, {0: 5.0})
+        assert stretches[0] == pytest.approx(1.0)
+
+    def test_stretch_accounts_for_restricted_availability(self):
+        from repro.core.platform import Machine
+
+        platform = Platform(
+            [
+                Machine(0, 1.0, 0, frozenset({"a"})),
+                Machine(1, 1.0, 1, frozenset({"b"})),
+            ]
+        )
+        instance = Instance([Job(0, release=0.0, size=2.0, databank="a")], platform)
+        # Only machine 0 (speed 1) can serve the job: ideal time is 2 seconds.
+        assert metrics.stretches(instance, {0: 2.0})[0] == pytest.approx(1.0)

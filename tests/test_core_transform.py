@@ -1,0 +1,130 @@
+"""Unit tests for the Lemma 1 transformations (:mod:`repro.core.transform`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+from repro.core.schedule import Schedule, WorkSlice
+from repro.core.transform import (
+    divisible_schedule_to_uniprocessor,
+    equivalent_uniprocessor_instance,
+    uniprocessor_schedule_to_divisible,
+)
+from repro.schedulers.priority import SRPTScheduler, SWRPTScheduler
+from repro.simulation.engine import simulate
+
+
+@pytest.fixture
+def uniform_instance() -> Instance:
+    platform = Platform.uniform([1.0, 0.5, 0.25], databanks=["db"])
+    jobs = [
+        Job(0, release=0.0, size=7.0, databank="db"),
+        Job(1, release=1.0, size=2.0, databank="db"),
+        Job(2, release=1.5, size=4.0, databank="db"),
+    ]
+    return Instance(jobs, platform)
+
+
+class TestEquivalentInstance:
+    def test_equivalent_speed_is_sum_of_speeds(self, uniform_instance):
+        equivalent = equivalent_uniprocessor_instance(uniform_instance)
+        assert equivalent.n_machines == 1
+        expected_speed = uniform_instance.platform.aggregate_speed()
+        assert equivalent.platform[0].speed == pytest.approx(expected_speed)
+
+    def test_jobs_preserved(self, uniform_instance):
+        equivalent = equivalent_uniprocessor_instance(uniform_instance)
+        assert equivalent.jobs == uniform_instance.jobs
+
+    def test_processing_times_match_paper_formula(self, uniform_instance):
+        # p^(1)_j = W_j / (sum_i 1/p_i)
+        equivalent = equivalent_uniprocessor_instance(uniform_instance)
+        total_speed = uniform_instance.platform.aggregate_speed()
+        for job in uniform_instance.jobs:
+            assert equivalent.processing_time(0, job.job_id) == pytest.approx(
+                job.size / total_speed
+            )
+
+    def test_rejects_restricted_availability(self):
+        platform = Platform(
+            [Machine(0, 1.0, 0, frozenset({"a"})), Machine(1, 1.0, 1, frozenset({"b"}))]
+        )
+        instance = Instance([Job(0, release=0.0, size=1.0, databank="a")], platform)
+        with pytest.raises(ModelError):
+            equivalent_uniprocessor_instance(instance)
+
+
+class TestReverseTransformation:
+    def test_round_trip_preserves_completion_times(self, uniform_instance):
+        equivalent = equivalent_uniprocessor_instance(uniform_instance)
+        uni_result = simulate(equivalent, SRPTScheduler())
+        lifted = uniprocessor_schedule_to_divisible(uni_result.schedule, uniform_instance)
+        lifted.validate(uniform_instance)
+        for job in uniform_instance.jobs:
+            assert lifted.completion_time(job.job_id) == pytest.approx(
+                uni_result.completions[job.job_id]
+            )
+
+    def test_work_split_proportional_to_speed(self, uniform_instance):
+        schedule = Schedule([WorkSlice(0, 0, 0.0, 1.0, 1.75)])
+        lifted = uniprocessor_schedule_to_divisible(schedule, uniform_instance)
+        works = {s.machine_id: s.work for s in lifted}
+        # Speeds are 1, 2, 4 (total 7) -> shares 1/7, 2/7, 4/7 of 1.75.
+        assert works[0] == pytest.approx(1.75 / 7.0)
+        assert works[1] == pytest.approx(1.75 * 2.0 / 7.0)
+        assert works[2] == pytest.approx(1.75 * 4.0 / 7.0)
+
+    def test_rejects_restricted_availability(self):
+        platform = Platform(
+            [Machine(0, 1.0, 0, frozenset({"a"})), Machine(1, 1.0, 1, frozenset({"b"}))]
+        )
+        instance = Instance([Job(0, release=0.0, size=1.0, databank="a")], platform)
+        with pytest.raises(ModelError):
+            uniprocessor_schedule_to_divisible(Schedule([]), instance)
+
+
+class TestForwardTransformation:
+    def test_lemma1_completion_times_never_increase(self, uniform_instance):
+        multi = simulate(uniform_instance, SWRPTScheduler())
+        equivalent = equivalent_uniprocessor_instance(uniform_instance)
+        projected = divisible_schedule_to_uniprocessor(multi.schedule, uniform_instance)
+        projected.validate(equivalent)
+        for job in uniform_instance.jobs:
+            assert (
+                projected.completion_time(job.job_id)
+                <= multi.completions[job.job_id] + 1e-9
+            )
+
+    def test_projected_schedule_complete(self, uniform_instance):
+        multi = simulate(uniform_instance, SRPTScheduler())
+        projected = divisible_schedule_to_uniprocessor(multi.schedule, uniform_instance)
+        for job in uniform_instance.jobs:
+            assert projected.work_done(job.job_id) == pytest.approx(job.size, rel=1e-6)
+
+    def test_random_round_trips(self):
+        rng = np.random.default_rng(5)
+        for trial in range(5):
+            n_machines = int(rng.integers(2, 5))
+            platform = Platform.uniform(
+                list(rng.uniform(0.2, 2.0, size=n_machines)), databanks=["db"]
+            )
+            jobs = []
+            t = 0.0
+            for i in range(int(rng.integers(3, 8))):
+                t += float(rng.exponential(1.0))
+                jobs.append(Job(i, release=t, size=float(rng.uniform(0.5, 6.0)), databank="db"))
+            instance = Instance(jobs, platform)
+            equivalent = equivalent_uniprocessor_instance(instance)
+            uni = simulate(equivalent, SRPTScheduler())
+            lifted = uniprocessor_schedule_to_divisible(uni.schedule, instance)
+            lifted.validate(instance)
+            projected = divisible_schedule_to_uniprocessor(lifted, instance)
+            for job in instance.jobs:
+                assert projected.completion_time(job.job_id) <= uni.completions[
+                    job.job_id
+                ] + 1e-9

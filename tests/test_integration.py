@@ -1,0 +1,156 @@
+"""End-to-end integration tests reproducing the paper's qualitative findings.
+
+These tests run miniature versions of the Section 5 experiments and check the
+*shape* of the results reported in Table 1 and Figure 3: which heuristics win
+each metric, and by roughly what kind of margin.  They intentionally use
+small workloads so the whole suite stays fast; the full-scale reproduction
+lives in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_campaign
+from repro.experiments.statistics import compute_degradations, summarize
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+SCHEDULERS = (
+    "offline",
+    "online",
+    "online-edf",
+    "online-egdf",
+    "swrpt",
+    "srpt",
+    "spt",
+    "bender02",
+    "mct-div",
+    "mct",
+)
+
+
+@pytest.fixture(scope="module")
+def mini_campaign_rows():
+    """Aggregate degradation rows over a small two-configuration campaign."""
+    configs = [
+        ExperimentConfig(
+            name="mini-3c", n_clusters=3, n_databanks=3, availability=0.6, density=1.0,
+            processors_per_cluster=5, window=25.0, max_jobs=12,
+        ),
+        ExperimentConfig(
+            name="mini-2c", n_clusters=2, n_databanks=2, availability=0.9, density=2.0,
+            processors_per_cluster=5, window=25.0, max_jobs=12,
+        ),
+    ]
+    results = run_campaign(configs, scheduler_keys=SCHEDULERS, replicates=2, base_seed=17)
+    rows = summarize(compute_degradations(results))
+    return {row.scheduler: row for row in rows}
+
+
+class TestTable1Shape:
+    def test_all_schedulers_present(self, mini_campaign_rows):
+        assert len(mini_campaign_rows) == len(SCHEDULERS)
+
+    def test_offline_is_reference_for_max_stretch(self, mini_campaign_rows):
+        # Offline is (near-)optimal for max-stretch: mean degradation ~ 1.
+        assert mini_campaign_rows["Offline"].max_stretch_mean <= 1.01
+
+    def test_online_variants_near_optimal_max_stretch(self, mini_campaign_rows):
+        for name in ("Online", "Online-EDF"):
+            assert mini_campaign_rows[name].max_stretch_mean <= 1.1
+
+    def test_mct_much_worse_for_max_stretch(self, mini_campaign_rows):
+        """The production policy is by far the worst max-stretch strategy."""
+        mct = mini_campaign_rows["MCT"].max_stretch_mean
+        best_online = mini_campaign_rows["Online"].max_stretch_mean
+        assert mct > 2.0 * best_online
+        assert mct == max(row.max_stretch_mean for row in mini_campaign_rows.values())
+
+    def test_swrpt_family_best_for_sum_stretch(self, mini_campaign_rows):
+        sum_means = {name: row.sum_stretch_mean for name, row in mini_campaign_rows.items()}
+        best = min(sum_means.values())
+        for name in ("SWRPT", "SRPT", "Online-EGDF"):
+            assert sum_means[name] <= best * 1.15
+
+    def test_offline_trades_sum_stretch_for_max_stretch(self, mini_campaign_rows):
+        # Offline only optimizes max-stretch; its sum-stretch degradation is the
+        # largest among the stretch-aware strategies (Table 1: 1.67 vs ~1.0).
+        offline_sum = mini_campaign_rows["Offline"].sum_stretch_mean
+        assert offline_sum > mini_campaign_rows["SWRPT"].sum_stretch_mean
+        assert offline_sum > mini_campaign_rows["Online"].sum_stretch_mean
+
+    def test_online_beats_nonoptimized_tradeoff(self):
+        """Figure 3: the System (2) pass only helps the sum-stretch."""
+        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=4, n_databanks=2,
+                              availability=0.8)
+        spec_w = WorkloadSpec(density=1.5, window=25.0, max_jobs=12)
+        gains = []
+        for seed in range(3):
+            instance = generate_instance(spec_p, spec_w, rng=seed)
+            optimized = simulate(instance, make_scheduler("online"))
+            plain = simulate(instance, make_scheduler("online-nonopt"))
+            assert optimized.max_stretch <= plain.max_stretch * 1.05
+            gains.append(plain.sum_stretch - optimized.sum_stretch)
+        assert np.mean(gains) >= -1e-9
+
+
+class TestBenderComparison:
+    def test_bender02_weaker_than_lp_online_for_max_stretch(self):
+        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=4, n_databanks=2,
+                              availability=0.8)
+        spec_w = WorkloadSpec(density=2.0, window=25.0, max_jobs=12)
+        ratios = []
+        for seed in range(3):
+            instance = generate_instance(spec_p, spec_w, rng=100 + seed)
+            online = simulate(instance, make_scheduler("online"))
+            bender = simulate(instance, make_scheduler("bender02"))
+            ratios.append(bender.max_stretch / online.max_stretch)
+        assert np.mean(ratios) >= 1.0
+
+    def test_bender98_overhead_dominates_online(self):
+        """Section 5.3: Bender98 spends far more time scheduling than the on-line heuristics."""
+        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=4, n_databanks=2,
+                              availability=0.8)
+        spec_w = WorkloadSpec(density=1.0, window=25.0, max_jobs=10)
+        instance = generate_instance(spec_p, spec_w, rng=7)
+        bender = simulate(instance, make_scheduler("bender98"))
+        swrpt = simulate(instance, make_scheduler("swrpt"))
+        assert bender.scheduler_time > swrpt.scheduler_time
+
+
+def _load_example(name: str):
+    """Import an example script by file path (examples/ is not a package)."""
+    import importlib.util
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "examples" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    """The shipped examples must at least run on reduced inputs."""
+
+    def test_quickstart_example(self, capsys):
+        _load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "max-stretch" in out
+        assert "Gantt" in out
+
+    def test_lemma1_example(self, capsys):
+        _load_example("lemma1_equivalence").main()
+        out = capsys.readouterr().out
+        assert "Forward transformation never increases completion times: True" in out
+
+    def test_online_portal_example(self, capsys):
+        _load_example("online_portal").main()
+        out = capsys.readouterr().out
+        assert "Policy" in out
+        assert "Online" in out

@@ -1,0 +1,179 @@
+"""Unit tests for :mod:`repro.lp.problem`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+from repro.lp.problem import Affine, LPJob, MaxStretchProblem, Resource, problem_from_instance
+
+
+class TestAffine:
+    def test_evaluation(self):
+        fn = Affine(2.0, 3.0)
+        assert fn.at(0.0) == 2.0
+        assert fn.at(1.5) == pytest.approx(6.5)
+
+    def test_arithmetic(self):
+        a, b = Affine(2.0, 3.0), Affine(1.0, 1.0)
+        assert (a - b).at(2.0) == pytest.approx(a.at(2.0) - b.at(2.0))
+        assert (a + b).at(2.0) == pytest.approx(a.at(2.0) + b.at(2.0))
+
+
+class TestResource:
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            Resource(index=0, speed=0.0, machine_ids=(0,))
+        with pytest.raises(ModelError):
+            Resource(index=0, speed=1.0, machine_ids=())
+
+
+class TestLPJob:
+    def make(self, **overrides):
+        defaults = dict(
+            job_id=0,
+            earliest_start=1.0,
+            remaining_work=2.0,
+            release=0.5,
+            flow_factor=1.5,
+            resources=(0,),
+        )
+        defaults.update(overrides)
+        return LPJob(**defaults)
+
+    def test_deadline_formula(self):
+        job = self.make()
+        assert job.deadline(2.0) == pytest.approx(0.5 + 2.0 * 1.5)
+        affine = job.deadline_affine()
+        assert affine.const == 0.5 and affine.coef == 1.5
+        assert job.start_affine().at(123.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            self.make(remaining_work=0.0)
+        with pytest.raises(ModelError):
+            self.make(flow_factor=0.0)
+        with pytest.raises(ModelError):
+            self.make(earliest_start=0.0)  # before release
+        with pytest.raises(ModelError):
+            self.make(resources=())
+
+
+class TestMaxStretchProblem:
+    def make_problem(self) -> MaxStretchProblem:
+        resources = (
+            Resource(0, speed=2.0, machine_ids=(0, 1)),
+            Resource(1, speed=1.0, machine_ids=(2,)),
+        )
+        jobs = (
+            LPJob(0, earliest_start=0.0, remaining_work=4.0, release=0.0,
+                  flow_factor=2.0, resources=(0,)),
+            LPJob(1, earliest_start=1.0, remaining_work=3.0, release=1.0,
+                  flow_factor=1.0, resources=(0, 1)),
+        )
+        return MaxStretchProblem(resources=resources, jobs=jobs)
+
+    def test_lookups(self):
+        problem = self.make_problem()
+        assert problem.n_jobs == 2
+        assert problem.n_resources == 2
+        assert problem.job_by_id(1).remaining_work == 3.0
+        with pytest.raises(KeyError):
+            problem.job_by_id(9)
+
+    def test_eligible_speed(self):
+        problem = self.make_problem()
+        assert problem.eligible_speed(problem.job_by_id(0)) == pytest.approx(2.0)
+        assert problem.eligible_speed(problem.job_by_id(1)) == pytest.approx(3.0)
+
+    def test_objective_bounds(self):
+        problem = self.make_problem()
+        lower = problem.objective_lower_bound()
+        upper = problem.objective_upper_bound()
+        # Job 0 alone needs 4/2 = 2 seconds -> weighted flow 2 / 2.0 = 1.
+        # Job 1 alone needs 3/3 = 1 second -> weighted flow 1 / 1.0 = 1.
+        assert lower == pytest.approx(1.0)
+        assert upper >= lower
+
+    def test_resource_index_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            MaxStretchProblem(
+                resources=(Resource(1, speed=1.0, machine_ids=(0,)),),
+                jobs=(),
+            )
+
+    def test_unknown_resource_reference_rejected(self):
+        with pytest.raises(ModelError):
+            MaxStretchProblem(
+                resources=(Resource(0, speed=1.0, machine_ids=(0,)),),
+                jobs=(
+                    LPJob(0, earliest_start=0.0, remaining_work=1.0, release=0.0,
+                          flow_factor=1.0, resources=(5,)),
+                ),
+            )
+
+    def test_empty_problem_bounds(self):
+        problem = MaxStretchProblem(resources=(), jobs=())
+        assert problem.objective_lower_bound() == 0.0
+        assert problem.objective_upper_bound() == 0.0
+
+
+class TestProblemFromInstance:
+    @pytest.fixture
+    def instance(self) -> Instance:
+        platform = Platform(
+            [
+                Machine(0, 1.0, 0, frozenset({"a"})),
+                Machine(1, 1.0, 0, frozenset({"a"})),
+                Machine(2, 0.5, 1, frozenset({"a", "b"})),
+            ]
+        )
+        jobs = [
+            Job(0, release=0.0, size=4.0, databank="a"),
+            Job(1, release=1.0, size=2.0, databank="b"),
+        ]
+        return Instance(jobs, platform)
+
+    def test_resources_are_capability_classes(self, instance):
+        problem = problem_from_instance(instance)
+        assert problem.n_resources == 2
+        speeds = sorted(r.speed for r in problem.resources)
+        assert speeds == [pytest.approx(2.0), pytest.approx(2.0)]
+
+    def test_offline_jobs_use_release_and_full_size(self, instance):
+        problem = problem_from_instance(instance)
+        job0 = problem.job_by_id(0)
+        assert job0.earliest_start == 0.0
+        assert job0.remaining_work == 4.0
+        # Stretch flow factor = ideal time = size / eligible speed = 4 / 4 = 1.
+        assert job0.flow_factor == pytest.approx(instance.ideal_time(0))
+
+    def test_eligibility_respects_databanks(self, instance):
+        problem = problem_from_instance(instance)
+        job1 = problem.job_by_id(1)
+        eligible_banks = {problem.resources[r].databanks for r in job1.resources}
+        assert all("b" in banks for banks in eligible_banks)
+
+    def test_online_remaining_restricts_jobs(self, instance):
+        problem = problem_from_instance(instance, now=2.0, remaining={0: 1.5})
+        assert problem.n_jobs == 1
+        job0 = problem.job_by_id(0)
+        assert job0.remaining_work == 1.5
+        assert job0.earliest_start == 2.0
+        assert job0.release == 0.0  # deadline still anchored at the true release
+
+    def test_completed_jobs_dropped(self, instance):
+        problem = problem_from_instance(instance, now=2.0, remaining={0: 0.0, 1: 1.0})
+        assert [j.job_id for j in problem.jobs] == [1]
+
+    def test_explicit_job_ids_keep_full_size(self, instance):
+        problem = problem_from_instance(instance, job_ids=[0])
+        assert problem.n_jobs == 1
+        assert problem.job_by_id(0).remaining_work == 4.0
+
+    def test_flow_factor_override(self, instance):
+        problem = problem_from_instance(instance, flow_factors={0: 10.0})
+        assert problem.job_by_id(0).flow_factor == 10.0

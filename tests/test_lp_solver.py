@@ -1,0 +1,96 @@
+"""Unit tests for the LP wrapper (:mod:`repro.lp.solver`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import SolverError
+from repro.lp.solver import LinearProgramBuilder
+
+
+class TestLinearProgramBuilder:
+    def test_simple_minimization(self):
+        # min x + y  s.t.  x + y >= 1, x >= 0, y >= 0
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(objective=1.0)
+        y = builder.add_variable(objective=1.0)
+        builder.add_leq([(x, -1.0), (y, -1.0)], -1.0)
+        result = builder.solve()
+        assert result.feasible
+        assert result.objective == pytest.approx(1.0)
+        assert result.value(x) + result.value(y) == pytest.approx(1.0)
+
+    def test_equality_constraint(self):
+        # min x  s.t.  x + y == 3, y <= 1
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(objective=1.0)
+        y = builder.add_variable(upper=1.0)
+        builder.add_eq([(x, 1.0), (y, 1.0)], 3.0)
+        result = builder.solve()
+        assert result.feasible
+        assert result.value(x) == pytest.approx(2.0)
+
+    def test_infeasible_returns_flag_not_exception(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(upper=1.0)
+        builder.add_eq([(x, 1.0)], 5.0)
+        result = builder.solve()
+        assert not result.feasible
+        assert np.isinf(result.objective)
+
+    def test_unbounded_raises_solver_error(self):
+        builder = LinearProgramBuilder()
+        builder.add_variable(objective=-1.0)  # min -x with x unbounded above
+        with pytest.raises(SolverError):
+            builder.solve()
+
+    def test_empty_program_trivially_feasible(self):
+        result = LinearProgramBuilder().solve()
+        assert result.feasible
+        assert result.objective == 0.0
+
+    def test_variable_bounds_respected(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(objective=1.0, lower=2.0, upper=5.0)
+        result = builder.solve()
+        assert result.value(x) == pytest.approx(2.0)
+
+    def test_unknown_variable_rejected(self):
+        builder = LinearProgramBuilder()
+        builder.add_variable()
+        with pytest.raises(SolverError):
+            builder.add_leq([(3, 1.0)], 0.0)
+
+    def test_variable_names(self):
+        builder = LinearProgramBuilder()
+        idx = builder.add_variable(name="alpha")
+        assert builder.variable_name(idx) == "alpha"
+        other = builder.add_variable()
+        assert builder.variable_name(other) == f"x{other}"
+        assert builder.n_variables == 2
+
+    def test_explicit_method_selection(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(objective=1.0, lower=1.0)
+        result = builder.solve(method="highs-ipm")
+        assert result.feasible
+        assert result.value(x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_transportation_like_problem(self):
+        # Two suppliers (capacities 3 and 2), two demands (2 and 3); cost
+        # favours supplier 0 for demand 0 and supplier 1 for demand 1.
+        builder = LinearProgramBuilder()
+        x = {}
+        costs = {(0, 0): 1.0, (0, 1): 3.0, (1, 0): 3.0, (1, 1): 1.0}
+        for key, cost in costs.items():
+            x[key] = builder.add_variable(objective=cost)
+        builder.add_leq([(x[(0, 0)], 1.0), (x[(0, 1)], 1.0)], 3.0)
+        builder.add_leq([(x[(1, 0)], 1.0), (x[(1, 1)], 1.0)], 2.0)
+        builder.add_eq([(x[(0, 0)], 1.0), (x[(1, 0)], 1.0)], 2.0)
+        builder.add_eq([(x[(0, 1)], 1.0), (x[(1, 1)], 1.0)], 3.0)
+        result = builder.solve()
+        assert result.feasible
+        # Optimal: send 2 from s0 to d0 (cost 2), 2 from s1 to d1 (cost 2),
+        # remaining 1 of d1 from s0 (cost 3) -> total 7.
+        assert result.objective == pytest.approx(7.0)

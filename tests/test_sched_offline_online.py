@@ -1,0 +1,150 @@
+"""Tests for the LP-based schedulers: Offline and the Online variants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+from repro.lp.maxstretch import minimize_max_weighted_flow
+from repro.lp.problem import problem_from_instance
+from repro.schedulers.offline import OfflineScheduler
+from repro.schedulers.online_lp import OnlineLPScheduler
+from repro.schedulers.priority import SRPTScheduler, SWRPTScheduler
+from repro.simulation.engine import simulate
+
+from .conftest import make_uniform_instance
+
+
+def random_restricted_instance(seed: int, n_jobs: int = 8) -> Instance:
+    rng = np.random.default_rng(seed)
+    platform = Platform(
+        [
+            Machine(0, 1.0, 0, frozenset({"a"})),
+            Machine(1, 1.0, 0, frozenset({"a"})),
+            Machine(2, 0.5, 1, frozenset({"a", "b"})),
+            Machine(3, 2.0, 2, frozenset({"b"})),
+        ]
+    )
+    jobs = []
+    t = 0.0
+    for i in range(n_jobs):
+        bank = "a" if i % 3 else "b"
+        t += float(rng.exponential(0.8))
+        jobs.append(Job(i, release=t, size=float(rng.uniform(0.5, 5.0)), databank=bank))
+    return Instance(jobs, platform)
+
+
+class TestOfflineScheduler:
+    def test_achieves_lp_optimum(self):
+        for seed in range(3):
+            instance = random_restricted_instance(seed, n_jobs=6)
+            scheduler = OfflineScheduler()
+            result = simulate(instance, scheduler)
+            result.schedule.validate(instance)
+            assert scheduler.optimal_max_stretch is not None
+            assert result.max_stretch <= scheduler.optimal_max_stretch * (1 + 1e-6)
+
+    def test_optimum_lower_bounds_all_heuristics(self):
+        instance = random_restricted_instance(1, n_jobs=7)
+        offline = simulate(instance, OfflineScheduler())
+        for scheduler in (SRPTScheduler(), SWRPTScheduler()):
+            other = simulate(instance, scheduler)
+            assert offline.max_stretch <= other.max_stretch + 1e-6
+
+    def test_single_job_stretch_one(self):
+        instance = make_uniform_instance(sizes=[5.0], releases=[2.0], cycle_times=[1.0, 1.0])
+        result = simulate(instance, OfflineScheduler())
+        assert result.max_stretch == pytest.approx(1.0, abs=1e-6)
+
+    def test_empty_instance(self):
+        platform = Platform.uniform([1.0], databanks=["db"])
+        instance = Instance([], platform)
+        result = simulate(instance, OfflineScheduler())
+        assert result.completions == {}
+
+    def test_reoptimize_sum_variant_keeps_optimal_max_stretch(self):
+        instance = random_restricted_instance(2, n_jobs=6)
+        plain = simulate(instance, OfflineScheduler())
+        improved = simulate(instance, OfflineScheduler(reoptimize_sum=True))
+        assert improved.max_stretch <= plain.max_stretch * (1 + 1e-4)
+        # The System (2) pass should not degrade the sum-stretch.
+        assert improved.sum_stretch <= plain.sum_stretch * (1 + 1e-6)
+
+    def test_uses_divisibility_across_sites(self):
+        """A single job hosted on two sites should use both (stretch 1)."""
+        platform = Platform(
+            [
+                Machine(0, 1.0, 0, frozenset({"a"})),
+                Machine(1, 1.0, 1, frozenset({"a"})),
+            ]
+        )
+        instance = Instance([Job(0, release=0.0, size=4.0, databank="a")], platform)
+        result = simulate(instance, OfflineScheduler())
+        assert result.completions[0] == pytest.approx(2.0, rel=1e-6)
+
+
+class TestOnlineVariants:
+    @pytest.mark.parametrize("variant", ["online", "online-edf", "online-egdf", "online-nonopt"])
+    def test_valid_schedules(self, variant):
+        instance = random_restricted_instance(3, n_jobs=8)
+        result = simulate(instance, OnlineLPScheduler(variant=variant))
+        result.schedule.validate(instance)
+        assert set(result.completions) == set(instance.jobs.ids())
+
+    @pytest.mark.parametrize("variant", ["online", "online-edf"])
+    def test_near_optimal_max_stretch(self, variant):
+        """Paper, Section 5.3: Online and Online-EDF are within a fraction of a
+        percent of the off-line optimal max-stretch on average."""
+        gaps = []
+        for seed in range(3):
+            instance = random_restricted_instance(seed, n_jobs=7)
+            offline = simulate(instance, OfflineScheduler())
+            online = simulate(instance, OnlineLPScheduler(variant=variant))
+            gaps.append(online.max_stretch / offline.max_stretch)
+        assert np.mean(gaps) < 1.15
+
+    def test_optimized_version_improves_sum_stretch(self):
+        """Figure 3(b): the System (2) pass improves the sum-stretch."""
+        improvements = []
+        for seed in range(3):
+            instance = random_restricted_instance(seed, n_jobs=8)
+            optimized = simulate(instance, OnlineLPScheduler(variant="online"))
+            non_optimized = simulate(instance, OnlineLPScheduler(variant="online-nonopt"))
+            improvements.append(non_optimized.sum_stretch - optimized.sum_stretch)
+        assert np.mean(improvements) >= -1e-6
+
+    def test_egdf_has_best_sum_stretch_among_online_variants(self):
+        sums = {}
+        instance = random_restricted_instance(5, n_jobs=9)
+        for variant in ("online", "online-edf", "online-egdf"):
+            sums[variant] = simulate(instance, OnlineLPScheduler(variant=variant)).sum_stretch
+        assert sums["online-egdf"] <= min(sums["online"], sums["online-edf"]) * 1.05
+
+    def test_single_job_stretch_one(self):
+        instance = make_uniform_instance(sizes=[5.0], releases=[1.0], cycle_times=[1.0, 0.5])
+        for variant in ("online", "online-egdf"):
+            result = simulate(instance, OnlineLPScheduler(variant=variant))
+            assert result.max_stretch == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineLPScheduler(variant="nope")
+
+    def test_resolution_counter_increments(self):
+        instance = random_restricted_instance(4, n_jobs=5)
+        scheduler = OnlineLPScheduler(variant="online")
+        simulate(instance, scheduler)
+        assert scheduler.n_resolutions == instance.n_jobs
+        assert scheduler.last_objective is not None
+
+    def test_online_achieved_stretch_never_below_offline_optimum(self):
+        """No on-line schedule can beat the off-line optimal max-stretch."""
+        instance = random_restricted_instance(6, n_jobs=6)
+        offline_optimum = minimize_max_weighted_flow(problem_from_instance(instance)).objective
+        scheduler = OnlineLPScheduler(variant="online")
+        result = simulate(instance, scheduler)
+        assert scheduler.last_objective is not None and scheduler.last_objective > 0
+        assert result.max_stretch >= offline_optimum - 1e-6

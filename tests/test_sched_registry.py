@@ -1,0 +1,154 @@
+"""Tests for the scheduler registry and plan-based base class."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+from repro.schedulers.base import PlanBasedScheduler, PlanSegment
+from repro.schedulers.registry import (
+    PAPER_TABLE1_ORDER,
+    available_schedulers,
+    make_scheduler,
+    paper_schedulers,
+    register_scheduler,
+)
+from repro.simulation.state import SchedulerState
+
+
+class TestRegistry:
+    def test_all_paper_schedulers_registered(self):
+        available = set(available_schedulers())
+        for key in PAPER_TABLE1_ORDER:
+            assert key in available
+
+    def test_make_scheduler_returns_fresh_instances(self):
+        a = make_scheduler("srpt")
+        b = make_scheduler("srpt")
+        assert a is not b
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            make_scheduler("does-not-exist")
+
+    def test_kwargs_forwarded(self):
+        scheduler = make_scheduler("bender98", max_jobs_per_resolution=5)
+        assert scheduler.max_jobs_per_resolution == 5
+
+    def test_paper_schedulers_with_and_without_bender98(self):
+        with_bender = paper_schedulers()
+        without = paper_schedulers(include_bender98=False)
+        assert "bender98" in with_bender
+        assert "bender98" not in without
+        assert len(with_bender) == len(without) + 1
+
+    def test_register_custom_scheduler_decorator(self):
+        from repro.schedulers.priority import FCFSScheduler
+
+        key = "custom-test-scheduler"
+        if key not in available_schedulers():
+            @register_scheduler(key)
+            def _factory():
+                return FCFSScheduler()
+
+        assert key in available_schedulers()
+        assert isinstance(make_scheduler(key), FCFSScheduler)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_scheduler("srpt", lambda: None)  # type: ignore[arg-type]
+
+    def test_scheduler_display_names(self):
+        expected = {
+            "offline": "Offline",
+            "online": "Online",
+            "online-edf": "Online-EDF",
+            "online-egdf": "Online-EGDF",
+            "online-nonopt": "Online (non-opt.)",
+            "bender98": "Bender98",
+            "bender02": "Bender02",
+            "swrpt": "SWRPT",
+            "srpt": "SRPT",
+            "spt": "SPT",
+            "mct": "MCT",
+            "mct-div": "MCT-Div",
+        }
+        for key, name in expected.items():
+            assert make_scheduler(key).name == name
+
+
+class TestPlanBasedScheduler:
+    @pytest.fixture
+    def instance(self) -> Instance:
+        platform = Platform.uniform([1.0, 1.0], databanks=["db"])
+        jobs = [Job(0, release=0.0, size=2.0, databank="db"),
+                Job(1, release=0.0, size=2.0, databank="db")]
+        return Instance(jobs, platform)
+
+    class DummyPlanScheduler(PlanBasedScheduler):
+        name = "dummy-plan"
+
+    def test_plan_manipulation(self, instance):
+        scheduler = self.DummyPlanScheduler()
+        scheduler.reset(instance)
+        scheduler.set_plan(
+            [
+                PlanSegment(machine_id=0, job_id=0, start=0.0, end=2.0),
+                PlanSegment(machine_id=1, job_id=1, start=1.0, end=3.0),
+            ]
+        )
+        assert len(scheduler.plan_segments()) == 2
+        assert len(scheduler.plan_segments(0)) == 1
+        assert scheduler.plan_horizon(0, 0.0) == pytest.approx(2.0)
+        assert scheduler.plan_horizon(1, 0.0) == pytest.approx(0.0)  # gap before 1.0
+        assert scheduler.plan_horizon(1, 1.5) == pytest.approx(3.0)
+
+    def test_clear_plan_from_truncates(self, instance):
+        scheduler = self.DummyPlanScheduler()
+        scheduler.reset(instance)
+        scheduler.set_plan([PlanSegment(machine_id=0, job_id=0, start=0.0, end=4.0)])
+        scheduler.clear_plan_from(1.5)
+        segments = scheduler.plan_segments(0)
+        assert len(segments) == 1
+        assert segments[0].end == pytest.approx(1.5)
+        scheduler.clear_plan_from(0.0)
+        assert scheduler.plan_segments(0) == []
+
+    def test_assign_follows_plan(self, instance):
+        scheduler = self.DummyPlanScheduler()
+        scheduler.reset(instance)
+        scheduler.set_plan(
+            [
+                PlanSegment(machine_id=0, job_id=0, start=0.0, end=1.0),
+                PlanSegment(machine_id=0, job_id=1, start=1.0, end=2.0),
+                PlanSegment(machine_id=1, job_id=1, start=0.5, end=2.0),
+            ]
+        )
+        state = SchedulerState(instance)
+        state.release(instance.job(0))
+        state.release(instance.job(1))
+        state.time = 0.0
+        assignment = scheduler.assign(state)
+        assert assignment.mapping == {0: 0}
+        assert assignment.valid_until == pytest.approx(0.5)
+        state.time = 1.2
+        assignment = scheduler.assign(state)
+        assert assignment.mapping == {0: 1, 1: 1}
+
+    def test_assign_skips_completed_jobs(self, instance):
+        scheduler = self.DummyPlanScheduler()
+        scheduler.reset(instance)
+        scheduler.set_plan([PlanSegment(machine_id=0, job_id=0, start=0.0, end=1.0)])
+        state = SchedulerState(instance)
+        state.release(instance.job(0))
+        state.active[0].remaining = 0.0
+        state.complete(0, time=0.5)
+        state.time = 0.5
+        assignment = scheduler.assign(state)
+        assert assignment.mapping == {}
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            PlanSegment(machine_id=0, job_id=0, start=1.0, end=1.0)

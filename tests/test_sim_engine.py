@@ -1,0 +1,182 @@
+"""Unit tests for the simulation engine (:mod:`repro.simulation.engine`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ScheduleError
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+from repro.schedulers.base import Scheduler
+from repro.schedulers.priority import FCFSScheduler, SRPTScheduler
+from repro.simulation.engine import SimulationEngine, simulate
+from repro.simulation.events import ArrivalEvent, CompletionEvent
+from repro.simulation.state import Assignment
+
+
+@pytest.fixture
+def instance() -> Instance:
+    platform = Platform.uniform([1.0, 1.0], databanks=["db"])
+    jobs = [
+        Job(0, release=0.0, size=4.0, databank="db"),
+        Job(1, release=1.0, size=2.0, databank="db"),
+        Job(2, release=6.0, size=2.0, databank="db"),
+    ]
+    return Instance(jobs, platform)
+
+
+class TestBasicExecution:
+    def test_all_jobs_complete(self, instance):
+        result = simulate(instance, FCFSScheduler())
+        assert set(result.completions) == {0, 1, 2}
+        result.schedule.validate(instance)
+
+    def test_completions_are_exact_for_fcfs(self, instance):
+        # FCFS with divisibility on 2 unit-speed machines (total speed 2):
+        # job 0 runs [0, 2] on both, job 1 runs [2, 3], job 2 [6, 7].
+        result = simulate(instance, FCFSScheduler())
+        assert result.completions[0] == pytest.approx(2.0)
+        assert result.completions[1] == pytest.approx(3.0)
+        assert result.completions[2] == pytest.approx(7.0)
+
+    def test_idle_period_handled(self, instance):
+        # Job 2 arrives at t=6 after the system drained at t=3.
+        result = simulate(instance, SRPTScheduler())
+        assert result.completions[2] == pytest.approx(7.0)
+
+    def test_work_conservation(self, instance):
+        result = simulate(instance, SRPTScheduler())
+        for job in instance.jobs:
+            assert result.schedule.work_done(job.job_id) == pytest.approx(job.size, rel=1e-6)
+
+    def test_scheduler_overhead_recorded(self, instance):
+        result = simulate(instance, SRPTScheduler())
+        assert result.scheduler_time >= 0.0
+        assert result.n_decisions > 0
+
+    def test_event_trace(self, instance):
+        result = simulate(instance, FCFSScheduler(), record_events=True)
+        arrivals = [e for e in result.events if isinstance(e, ArrivalEvent)]
+        completions = [e for e in result.events if isinstance(e, CompletionEvent)]
+        assert len(arrivals) == 3
+        assert len(completions) == 3
+        assert result.trace_lines()
+
+    def test_empty_instance(self):
+        platform = Platform.uniform([1.0], databanks=["db"])
+        instance = Instance([], platform)
+        result = simulate(instance, FCFSScheduler())
+        assert result.completions == {}
+        assert len(result.schedule) == 0
+
+    def test_single_job_runs_at_ideal_speed(self):
+        platform = Platform.uniform([1.0, 0.5], databanks=["db"])
+        instance = Instance([Job(0, release=2.0, size=6.0, databank="db")], platform)
+        result = simulate(instance, SRPTScheduler())
+        # Aggregate speed 3 -> 2 seconds of work -> completes at 4.
+        assert result.completions[0] == pytest.approx(4.0)
+        assert result.max_stretch == pytest.approx(1.0)
+
+
+class TestRestrictedAvailability:
+    def test_engine_rejects_illegal_assignment(self):
+        platform = Platform(
+            [Machine(0, 1.0, 0, frozenset({"a"})), Machine(1, 1.0, 1, frozenset({"b"}))]
+        )
+        instance = Instance([Job(0, release=0.0, size=1.0, databank="a")], platform)
+
+        class BadScheduler(Scheduler):
+            name = "bad"
+
+            def assign(self, state):
+                return Assignment(mapping={1: 0})  # machine 1 lacks databank a
+
+        with pytest.raises(ScheduleError):
+            simulate(instance, BadScheduler())
+
+    def test_engine_rejects_unknown_machine(self, instance):
+        class BadScheduler(Scheduler):
+            name = "bad-machine"
+
+            def assign(self, state):
+                return Assignment(mapping={99: 0})
+
+        with pytest.raises(ScheduleError):
+            simulate(instance, BadScheduler())
+
+    def test_engine_rejects_inactive_job(self, instance):
+        class BadScheduler(Scheduler):
+            name = "bad-job"
+
+            def assign(self, state):
+                return Assignment(mapping={0: 2})  # job 2 not released at t=0
+
+        with pytest.raises(ScheduleError):
+            simulate(instance, BadScheduler())
+
+    def test_priority_scheduler_respects_databanks(self):
+        platform = Platform(
+            [Machine(0, 1.0, 0, frozenset({"a"})), Machine(1, 1.0, 1, frozenset({"b"}))]
+        )
+        jobs = [
+            Job(0, release=0.0, size=2.0, databank="a"),
+            Job(1, release=0.0, size=2.0, databank="b"),
+        ]
+        instance = Instance(jobs, platform)
+        result = simulate(instance, SRPTScheduler())
+        result.schedule.validate(instance)
+        # Each job can only use its own machine, so both complete at t=2.
+        assert result.completions[0] == pytest.approx(2.0)
+        assert result.completions[1] == pytest.approx(2.0)
+
+
+class TestEngineRobustness:
+    def test_deadlock_detection(self, instance):
+        class LazyScheduler(Scheduler):
+            """Never assigns anything: the engine must detect the abandon."""
+
+            name = "lazy"
+
+            def assign(self, state):
+                return Assignment.idle()
+
+        with pytest.raises(ScheduleError):
+            simulate(instance, LazyScheduler())
+
+    def test_livelock_detection(self, instance):
+        class StallingScheduler(Scheduler):
+            """Always asks to be called again immediately."""
+
+            name = "staller"
+
+            def assign(self, state):
+                return Assignment(mapping={}, valid_until=state.time)
+
+        with pytest.raises(ScheduleError):
+            simulate(instance, StallingScheduler())
+
+    def test_valid_until_horizon_respected(self):
+        platform = Platform.uniform([1.0], databanks=["db"])
+        instance = Instance([Job(0, release=0.0, size=4.0, databank="db")], platform)
+
+        class ChunkingScheduler(Scheduler):
+            """Works in 1-second chunks, forcing frequent re-decisions."""
+
+            name = "chunker"
+            calls = 0
+
+            def assign(self, state):
+                self.calls += 1
+                return Assignment(mapping={0: 0}, valid_until=state.time + 1.0)
+
+        scheduler = ChunkingScheduler()
+        result = simulate(instance, scheduler)
+        assert result.completions[0] == pytest.approx(4.0)
+        assert scheduler.calls >= 4
+
+    def test_adjacent_slices_merged(self, instance):
+        result = simulate(instance, FCFSScheduler())
+        # Job 0 is processed continuously on each machine: one merged slice per machine.
+        slices = result.schedule.slices_for_job(0)
+        assert len(slices) == 2

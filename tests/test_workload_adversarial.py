@@ -1,0 +1,115 @@
+"""Tests for the adversarial constructions (Theorems 1 and 2 instances)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.workload.adversarial import (
+    starvation_instance,
+    swrpt_lower_bound_instance,
+    swrpt_lower_bound_parameters,
+)
+
+
+class TestStarvationInstance:
+    def test_structure(self):
+        instance = starvation_instance(8.0, 5)
+        assert instance.n_jobs == 6
+        assert instance.n_machines == 1
+        big = instance.job(0)
+        assert big.size == 8.0 and big.release == 0.0
+        for t in range(5):
+            job = instance.job(1 + t)
+            assert job.size == 1.0
+            assert job.release == float(t)
+
+    def test_delta_equals_size_ratio(self):
+        instance = starvation_instance(16.0, 4)
+        assert instance.delta() == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            starvation_instance(1.0, 5)
+        with pytest.raises(ModelError):
+            starvation_instance(4.0, 0)
+
+    def test_databank_label(self):
+        instance = starvation_instance(4.0, 2, databank="db")
+        assert all(j.databank == "db" for j in instance.jobs)
+        assert instance.platform.databanks() == frozenset({"db"})
+
+
+class TestSWRPTLowerBoundParameters:
+    def test_alpha_formula(self):
+        params = swrpt_lower_bound_parameters(0.3)
+        assert params.alpha == pytest.approx(1.0 - 0.1)
+        assert params.n >= 2
+        assert params.k >= 1
+
+    def test_parameters_grow_as_epsilon_shrinks(self):
+        loose = swrpt_lower_bound_parameters(0.5)
+        tight = swrpt_lower_bound_parameters(0.1)
+        assert tight.n >= loose.n
+        assert tight.k >= loose.k
+
+    def test_largest_size(self):
+        params = swrpt_lower_bound_parameters(0.5)
+        assert params.largest_size == pytest.approx(2.0 ** (2.0 ** params.n))
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ModelError):
+            swrpt_lower_bound_parameters(0.0)
+        with pytest.raises(ModelError):
+            swrpt_lower_bound_parameters(1.0)
+
+    def test_tiny_epsilon_still_finite(self):
+        # n grows doubly-logarithmically in 1/epsilon, so even epsilon = 1e-8
+        # keeps the largest job representable in double precision.
+        params = swrpt_lower_bound_parameters(1e-8)
+        assert math.isfinite(params.largest_size)
+        assert params.n >= 4
+        assert params.k >= 20
+
+
+class TestSWRPTLowerBoundInstance:
+    def test_job_count(self):
+        params = swrpt_lower_bound_parameters(0.4)
+        instance = swrpt_lower_bound_instance(0.4, 10)
+        assert instance.n_jobs == params.n + params.k + 10 + 1  # J0..Jn, k middle, l unit jobs
+
+    def test_first_jobs_follow_construction(self):
+        epsilon = 0.4
+        params = swrpt_lower_bound_parameters(epsilon)
+        instance = swrpt_lower_bound_instance(epsilon, 5)
+        n = params.n
+        j0, j1, j2 = instance.job(0), instance.job(1), instance.job(2)
+        assert j0.release == 0.0
+        assert j0.size == pytest.approx(2.0 ** (2.0 ** n))
+        assert j1.release == pytest.approx(2.0 ** (2.0 ** n) - 2.0 ** (2.0 ** (n - 2)))
+        assert j1.size == pytest.approx(2.0 ** (2.0 ** (n - 1)))
+        assert j2.release == pytest.approx(j1.release + j1.size - params.alpha)
+        assert j2.size == pytest.approx(2.0 ** (2.0 ** (n - 2)))
+
+    def test_sizes_non_increasing_after_head(self):
+        instance = swrpt_lower_bound_instance(0.4, 5)
+        sizes = [j.size for j in instance.jobs]
+        assert all(a >= b - 1e-12 for a, b in zip(sizes[:-1], sizes[1:]))
+        assert sizes[-1] == 1.0
+
+    def test_later_jobs_released_back_to_back(self):
+        """From job 3 onward, each job is released when its predecessor's work ends."""
+        instance = swrpt_lower_bound_instance(0.4, 4)
+        jobs = list(instance.jobs)
+        for prev, nxt in zip(jobs[2:-1], jobs[3:]):
+            assert nxt.release == pytest.approx(prev.release + prev.size)
+
+    def test_single_machine(self):
+        instance = swrpt_lower_bound_instance(0.5, 3)
+        assert instance.n_machines == 1
+
+    def test_unit_job_count_validation(self):
+        with pytest.raises(ModelError):
+            swrpt_lower_bound_instance(0.5, 0)

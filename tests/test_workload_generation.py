@@ -1,0 +1,213 @@
+"""Tests for the synthetic GriPPS workload generators (:mod:`repro.workload`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.workload.arrival import poisson_arrival_times
+from repro.workload.databanks import generate_databanks
+from repro.workload.generator import (
+    PlatformSpec,
+    WorkloadSpec,
+    generate_instance,
+    generate_platform,
+    generate_workload,
+)
+from repro.workload.gripps import (
+    DEFAULT_PROCESSORS_PER_CLUSTER,
+    MAX_DATABANK_MB,
+    MIN_DATABANK_MB,
+    REFERENCE_CYCLE_TIMES,
+    SUBMISSION_WINDOW_SECONDS,
+)
+
+
+class TestGrippsConstants:
+    def test_reference_machines(self):
+        assert len(REFERENCE_CYCLE_TIMES) == 6
+        assert all(t > 0 for t in REFERENCE_CYCLE_TIMES)
+        # Heterogeneity of the same order as the original study (a few x).
+        assert 2.0 <= max(REFERENCE_CYCLE_TIMES) / min(REFERENCE_CYCLE_TIMES) <= 6.0
+
+    def test_databank_range_and_window(self):
+        assert MIN_DATABANK_MB == 10.0
+        assert MAX_DATABANK_MB == pytest.approx(1024.0)
+        assert DEFAULT_PROCESSORS_PER_CLUSTER == 10
+        assert SUBMISSION_WINDOW_SECONDS == pytest.approx(900.0)
+
+    def test_job_durations_in_paper_range(self):
+        """A single request should take on the order of 3-60 s on one processor."""
+        fastest = min(REFERENCE_CYCLE_TIMES) * MIN_DATABANK_MB
+        slowest = max(REFERENCE_CYCLE_TIMES) * MAX_DATABANK_MB
+        assert fastest < 3.0 < slowest
+        assert slowest < 120.0
+
+
+class TestPoissonArrivals:
+    def test_arrivals_within_window(self):
+        times = poisson_arrival_times(rate=2.0, window=30.0, rng=0)
+        assert all(0.0 < t <= 30.0 for t in times)
+        assert times == sorted(times)
+
+    def test_mean_rate_approximately_respected(self):
+        times = poisson_arrival_times(rate=5.0, window=200.0, rng=1)
+        assert len(times) == pytest.approx(1000, rel=0.15)
+
+    def test_start_offset(self):
+        times = poisson_arrival_times(rate=1.0, window=10.0, rng=2, start=100.0)
+        assert all(100.0 < t <= 110.0 for t in times)
+
+    def test_max_count_cap(self):
+        times = poisson_arrival_times(rate=100.0, window=10.0, rng=3, max_count=7)
+        assert len(times) == 7
+
+    def test_invalid_rate(self):
+        with pytest.raises(ModelError):
+            poisson_arrival_times(rate=0.0, window=1.0)
+
+    def test_reproducibility(self):
+        assert poisson_arrival_times(1.0, 50.0, rng=7) == poisson_arrival_times(1.0, 50.0, rng=7)
+
+
+class TestDatabankCatalog:
+    def test_sizes_within_range(self):
+        catalog = generate_databanks(5, 4, availability=0.5, rng=0)
+        assert len(catalog) == 5
+        for name in catalog.names():
+            assert MIN_DATABANK_MB <= catalog.size_of(name) <= MAX_DATABANK_MB
+
+    def test_every_databank_hosted_somewhere(self):
+        for seed in range(5):
+            catalog = generate_databanks(6, 3, availability=0.1, rng=seed)
+            for name in catalog.names():
+                assert len(catalog.clusters_hosting(name)) >= 1
+
+    def test_full_availability_replicates_everywhere(self):
+        catalog = generate_databanks(4, 3, availability=1.0, rng=0)
+        for name in catalog.names():
+            assert set(catalog.clusters_hosting(name)) == {0, 1, 2}
+
+    def test_databanks_of_cluster_inverse_mapping(self):
+        catalog = generate_databanks(4, 3, availability=0.6, rng=1)
+        for cluster in range(3):
+            for name in catalog.databanks_of_cluster(cluster):
+                assert cluster in catalog.clusters_hosting(name)
+
+    def test_replication_factor(self):
+        catalog = generate_databanks(3, 5, availability=0.9, rng=2)
+        for name in catalog.names():
+            assert 1 <= catalog.replication_factor(name) <= 5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ModelError):
+            generate_databanks(0, 3, 0.5)
+        with pytest.raises(ModelError):
+            generate_databanks(3, 0, 0.5)
+        with pytest.raises(ModelError):
+            generate_databanks(3, 3, 0.0)
+        with pytest.raises(ModelError):
+            generate_databanks(3, 3, 1.5)
+
+
+class TestPlatformGeneration:
+    def test_shape(self):
+        spec = PlatformSpec(n_clusters=4, processors_per_cluster=5, n_databanks=3, availability=0.6)
+        platform, catalog = generate_platform(spec, rng=0)
+        assert len(platform) == 20
+        assert len(platform.clusters()) == 4
+        assert len(catalog) == 3
+
+    def test_cluster_homogeneity_and_reference_speeds(self):
+        spec = PlatformSpec(n_clusters=3, processors_per_cluster=4, n_databanks=2, availability=0.5)
+        platform, _ = generate_platform(spec, rng=1)
+        for cluster in platform.clusters():
+            assert cluster.cycle_time in REFERENCE_CYCLE_TIMES
+
+    def test_machines_host_their_clusters_databanks(self):
+        spec = PlatformSpec(n_clusters=3, processors_per_cluster=2, n_databanks=4, availability=0.7)
+        platform, catalog = generate_platform(spec, rng=2)
+        for machine in platform:
+            assert machine.databanks == catalog.databanks_of_cluster(machine.cluster_id)
+
+    def test_spec_validation(self):
+        with pytest.raises(ModelError):
+            PlatformSpec(n_clusters=0)
+        with pytest.raises(ModelError):
+            PlatformSpec(availability=0.0)
+        with pytest.raises(ModelError):
+            PlatformSpec(reference_cycle_times=())
+
+
+class TestWorkloadGeneration:
+    def test_density_controls_load(self):
+        spec = PlatformSpec(n_clusters=2, processors_per_cluster=5, n_databanks=2, availability=1.0)
+        platform, catalog = generate_platform(spec, rng=3)
+        low = generate_workload(platform, catalog, WorkloadSpec(density=0.5, window=300.0), rng=3)
+        high = generate_workload(platform, catalog, WorkloadSpec(density=2.0, window=300.0), rng=3)
+        assert len(high) > len(low)
+
+    def test_density_definition_matches_paper(self):
+        """Arriving work per second for a databank ~= density x hosting capacity."""
+        spec = PlatformSpec(n_clusters=2, processors_per_cluster=5, n_databanks=1, availability=1.0)
+        platform, catalog = generate_platform(spec, rng=4)
+        density, window = 1.5, 2000.0
+        jobs = generate_workload(platform, catalog, WorkloadSpec(density=density, window=window), rng=4)
+        name = catalog.names()[0]
+        arriving_work_per_second = sum(j.size for j in jobs) / window
+        expected = density * platform.aggregate_speed(name)
+        assert arriving_work_per_second == pytest.approx(expected, rel=0.15)
+
+    def test_jobs_sorted_and_renumbered(self):
+        spec = PlatformSpec(n_clusters=2, processors_per_cluster=3, n_databanks=3, availability=0.8)
+        platform, catalog = generate_platform(spec, rng=5)
+        jobs = generate_workload(platform, catalog, WorkloadSpec(density=1.0, window=60.0), rng=5)
+        releases = [j.release for j in jobs]
+        assert releases == sorted(releases)
+        assert [j.job_id for j in jobs] == list(range(len(jobs)))
+
+    def test_job_sizes_equal_databank_sizes(self):
+        spec = PlatformSpec(n_clusters=2, processors_per_cluster=3, n_databanks=2, availability=1.0)
+        platform, catalog = generate_platform(spec, rng=6)
+        jobs = generate_workload(platform, catalog, WorkloadSpec(density=1.0, window=120.0), rng=6)
+        sizes = {catalog.size_of(name) for name in catalog.names()}
+        assert all(any(abs(j.size - s) < 1e-9 for s in sizes) for j in jobs)
+
+    def test_max_jobs_cap(self):
+        spec = PlatformSpec(n_clusters=3, processors_per_cluster=10, n_databanks=3, availability=0.9)
+        platform, catalog = generate_platform(spec, rng=7)
+        jobs = generate_workload(
+            platform, catalog, WorkloadSpec(density=2.0, window=600.0, max_jobs=25), rng=7
+        )
+        assert len(jobs) <= 25
+
+    def test_workload_spec_validation(self):
+        with pytest.raises(ModelError):
+            WorkloadSpec(density=0.0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(window=0.0)
+        with pytest.raises(ModelError):
+            WorkloadSpec(max_jobs=0)
+
+
+class TestInstanceGeneration:
+    def test_generate_instance_is_feasible_and_reproducible(self):
+        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=4, n_databanks=2, availability=0.5)
+        spec_w = WorkloadSpec(density=1.0, window=60.0, max_jobs=20)
+        a = generate_instance(spec_p, spec_w, rng=11)
+        b = generate_instance(spec_p, spec_w, rng=11)
+        assert a.n_jobs == b.n_jobs
+        assert [j.release for j in a.jobs] == [j.release for j in b.jobs]
+        for job in a.jobs:
+            assert a.eligible_machines(job.job_id)
+
+    def test_generated_instances_are_schedulable(self):
+        from repro.schedulers.priority import SWRPTScheduler
+        from repro.simulation.engine import simulate
+
+        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=3, n_databanks=2, availability=0.6)
+        spec_w = WorkloadSpec(density=0.8, window=40.0, max_jobs=15)
+        instance = generate_instance(spec_p, spec_w, rng=13)
+        result = simulate(instance, SWRPTScheduler())
+        result.schedule.validate(instance)
