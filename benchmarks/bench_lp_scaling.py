@@ -67,6 +67,29 @@ def bench_system2_reoptimization(benchmark):
         assert reopt.work_for_job(job.job_id) == pytest.approx(job.remaining_work, rel=1e-5)
 
 
+def bench_system1_warm_start(benchmark):
+    """Warm-started milestone search vs a cold search on the same problem.
+
+    The warm start (previous S*, as carried by the on-line ReplanContext)
+    typically needs 2-3 LP probes instead of the cold gallop + binary
+    search; results are identical because feasibility is monotone in the
+    objective.
+    """
+    instance = _instance(n_clusters=3, n_jobs=30)
+    problem = problem_from_instance(instance)
+    cold = minimize_max_weighted_flow(problem)
+
+    warm = benchmark.pedantic(
+        lambda: minimize_max_weighted_flow(
+            problem, warm_start=cold.objective, skeleton_cache={}
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert warm.objective == cold.objective
+    assert warm.allocations == cold.allocations
+
+
 def bench_milestone_enumeration(benchmark):
     from repro.lp.milestones import enumerate_milestones
 

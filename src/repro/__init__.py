@@ -15,15 +15,36 @@ Quick start
 >>> round(result.max_stretch, 3) >= 1.0
 True
 
-The public API is re-exported from the subpackages:
+Module map
+----------
 
-* :mod:`repro.core` -- jobs, platforms, instances, schedules, metrics, Lemma 1;
-* :mod:`repro.lp` -- the System (1)/(2) linear programs;
-* :mod:`repro.simulation` -- the fluid discrete-event engine;
-* :mod:`repro.schedulers` -- all scheduling strategies and the registry;
-* :mod:`repro.workload` -- GriPPS-like synthetic platform/workload generation;
-* :mod:`repro.experiments` -- the paper's experimental campaign (tables, figures);
-* :mod:`repro.theory` -- constructions behind Theorems 1 and 2.
+The public API is re-exported from the subpackages; the decision hot path is
+the *incremental replanning pipeline* spanning the starred modules::
+
+    repro
+    |-- core/          jobs, platforms, instances, schedules, metrics, Lemma 1
+    |-- lp/            the System (1)/(2) linear programs
+    |   |-- problem      LP data model (jobs, resources, deadlines affine in F)
+    |   |-- milestones   objective values where the interval structure changes
+    |   |-- intervals    epochal times -> elementary interval structures
+    |   |-- maxstretch * System (1): skeleton-built LPs, warm-startable search
+    |   |-- relaxation * System (2): sum-stretch-like re-optimization
+    |   |-- incremental* ReplanContext: caches + S* warm start across replans
+    |   |-- aggregation  LP allocations -> per-machine work slices
+    |   `-- solver       sparse wrapper around scipy.optimize.linprog
+    |-- simulation/    the fluid discrete-event engine
+    |   |-- clock      * heap-based event queue, batched simultaneous arrivals
+    |   |-- engine     * the step loop: dispatch, assign, advance, complete
+    |   |-- state        scheduler-visible execution state
+    |   `-- result       SimulationResult (metrics, trace, scheduler overhead)
+    |-- schedulers/    all scheduling strategies and the registry
+    |   |-- base       * Scheduler / PriorityScheduler / PlanBasedScheduler
+    |   |-- policies   * ReplanPolicy: on-arrival | batched:D | threshold:K
+    |   |-- online_lp  * the four on-line LP variants (policy + ReplanContext)
+    |   `-- ...          offline, bender98/02, mct, priority heuristics
+    |-- workload/      GriPPS-like synthetic platform/workload generation
+    |-- experiments/   the paper's campaign (configs carry the replan knobs)
+    `-- theory/        constructions behind Theorems 1 and 2
 """
 
 from repro._version import __version__

@@ -27,10 +27,14 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.experiments.config import figure3_configurations, paper_configurations
+from repro.experiments.config import (
+    ONLINE_LP_SCHEDULERS,
+    figure3_configurations,
+    paper_configurations,
+)
 from repro.experiments.figures import run_figure3_sweep
 from repro.experiments.io import save_records_csv
-from repro.experiments.overhead import scheduling_overhead
+from repro.experiments.overhead import DEFAULT_OVERHEAD_SCHEDULERS, scheduling_overhead
 from repro.experiments.runner import run_campaign
 from repro.experiments.tables import (
     table1,
@@ -39,6 +43,7 @@ from repro.experiments.tables import (
     tables_by_density,
     tables_by_sites,
 )
+from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import available_schedulers, make_scheduler, paper_schedulers
 from repro.simulation.engine import simulate
 from repro.theory.bounds import swrpt_competitive_gap
@@ -75,6 +80,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--trace", action="store_true", help="print the event trace")
     sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    _add_replanning_arguments(sim)
 
     camp = sub.add_parser("campaign", help="run a scaled-down version of the paper campaign")
     camp.add_argument("--replicates", type=int, default=1)
@@ -91,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--schedulers", nargs="+", default=None, metavar="KEY")
     camp.add_argument("--save-csv", type=str, default=None)
     camp.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
+    _add_replanning_arguments(camp)
 
     fig = sub.add_parser("figure3", help="run the Figure 3 density sweep")
     fig.add_argument("--replicates", type=int, default=3)
@@ -102,6 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     over.add_argument("--replicates", type=int, default=2)
     over.add_argument("--window", type=float, default=30.0)
     over.add_argument("--max-jobs", type=int, default=25)
+    _add_replanning_arguments(over)
+    over.add_argument(
+        "--compare-incremental",
+        action="store_true",
+        help="run the on-line LP heuristics twice (incremental and from-scratch) "
+        "and print both, reproducing the replanning-pipeline ablation",
+    )
 
     th1 = sub.add_parser("theorem1", help="starvation instance of Theorem 1")
     th1.add_argument("--delta", type=float, default=16.0)
@@ -115,6 +129,40 @@ def build_parser() -> argparse.ArgumentParser:
     th2.add_argument("--unit-jobs", type=int, default=300)
 
     return parser
+
+
+def _policy_spec(text: str) -> str:
+    """argparse type: validate a replan-policy spec early, keep it textual."""
+    try:
+        parse_policy(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _add_replanning_arguments(sub: argparse.ArgumentParser) -> None:
+    """Replanning-pipeline knobs shared by simulate/campaign/overhead."""
+    sub.add_argument(
+        "--replan-policy",
+        type=_policy_spec,
+        default="on-arrival",
+        metavar="SPEC",
+        help="replan cadence of the on-line LP heuristics: "
+        "'on-arrival' (paper default), 'batched:<seconds>' or "
+        "'threshold[:<factor>]'",
+    )
+    sub.add_argument(
+        "--from-scratch",
+        action="store_true",
+        help="disable the incremental ReplanContext (rebuild every LP from "
+        "scratch at each release date, as the paper's heuristics do)",
+    )
+
+
+def _online_options(args: argparse.Namespace) -> dict[str, dict[str, object]]:
+    """Per-scheduler-key options implied by the replanning CLI flags."""
+    options = {"policy": args.replan_policy, "incremental": not args.from_scratch}
+    return {key: dict(options) for key in ONLINE_LP_SCHEDULERS}
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -132,8 +180,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     table = TextTable(
         headers=["Scheduler", "max-stretch", "sum-stretch", "max-flow", "makespan", "sched time (s)"]
     )
+    online_options = _online_options(args)
     for key in args.schedulers:
-        result = simulate(instance, make_scheduler(key), record_events=args.trace)
+        scheduler = make_scheduler(key, **online_options.get(key, {}))
+        result = simulate(instance, scheduler, record_events=args.trace)
         report = result.report()
         table.add_row(
             [
@@ -166,6 +216,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         densities=args.densities,
         window=args.window,
         max_jobs=args.max_jobs,
+        replan_policy=args.replan_policy,
+        incremental_lp=not args.from_scratch,
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
     print(
@@ -223,17 +275,46 @@ def _cmd_figure3(args: argparse.Namespace) -> int:
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
-    records = scheduling_overhead(
-        replicates=args.replicates,
-        window=args.window,
-        max_jobs=args.max_jobs,
-        scheduler_options={"bender98": {"max_jobs_per_resolution": 25}},
-    )
+    if args.compare_incremental and args.from_scratch:
+        print(
+            "error: --from-scratch and --compare-incremental are mutually "
+            "exclusive (the comparison runs both LP paths)",
+            file=sys.stderr,
+        )
+        return 2
+    # (scheduler subset, incremental toggle, row suffix) per pass.  The
+    # incremental toggle only exists on the on-line LP heuristics, so the
+    # comparison pass reruns just those -- restricted to the strategies of
+    # the base pass so every '(from scratch)' row has a counterpart.
+    runs: list[tuple[Sequence[str] | None, bool, str]] = [
+        (None, not args.from_scratch, "")
+    ]
+    if args.compare_incremental:
+        comparison_keys = tuple(
+            key for key in DEFAULT_OVERHEAD_SCHEDULERS if key in ONLINE_LP_SCHEDULERS
+        )
+        runs = [
+            (None, True, ""),
+            (comparison_keys, False, " (from scratch)"),
+        ]
     table = TextTable(
         headers=["Scheduler", "mean sched time (s)", "max sched time (s)", "mean decisions", "instances"]
     )
-    for record in records:
-        table.add_row(record.cells())
+    for keys, incremental, suffix in runs:
+        kwargs = {} if keys is None else {"scheduler_keys": keys}
+        records = scheduling_overhead(
+            replicates=args.replicates,
+            window=args.window,
+            max_jobs=args.max_jobs,
+            scheduler_options={"bender98": {"max_jobs_per_resolution": 25}},
+            replan_policy=args.replan_policy,
+            incremental_lp=incremental,
+            **kwargs,
+        )
+        for record in records:
+            cells = record.cells()
+            cells[0] = f"{cells[0]}{suffix}"
+            table.add_row(cells)
     print(table.render())
     return 0
 

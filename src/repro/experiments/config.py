@@ -22,11 +22,14 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.core.errors import ModelError
+from repro.schedulers.policies import parse_policy
+from repro.schedulers.registry import ONLINE_LP_SCHEDULERS
 from repro.workload.generator import PlatformSpec, WorkloadSpec
 from repro.workload.gripps import DEFAULT_PROCESSORS_PER_CLUSTER, SUBMISSION_WINDOW_SECONDS
 
 __all__ = [
     "ExperimentConfig",
+    "ONLINE_LP_SCHEDULERS",
     "PAPER_SITES",
     "PAPER_DATABANKS",
     "PAPER_AVAILABILITIES",
@@ -49,7 +52,11 @@ class ExperimentConfig:
 
     The six features of Section 5.1, plus the submission window and an
     optional cap on the number of jobs per instance (both used to scale the
-    campaign to the available compute budget without changing its design).
+    campaign to the available compute budget without changing its design),
+    plus two knobs of the replanning pipeline: the replan policy driving the
+    on-line LP heuristics (a new scenario axis the paper only discusses
+    qualitatively) and the incremental/from-scratch LP toggle (used by the
+    overhead comparisons).
     """
 
     name: str
@@ -60,6 +67,8 @@ class ExperimentConfig:
     processors_per_cluster: int = DEFAULT_PROCESSORS_PER_CLUSTER
     window: float = SUBMISSION_WINDOW_SECONDS
     max_jobs: int | None = None
+    replan_policy: str = "on-arrival"
+    incremental_lp: bool = True
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -68,6 +77,10 @@ class ExperimentConfig:
             raise ModelError("availability must lie in (0, 1]")
         if self.density <= 0 or self.window <= 0:
             raise ModelError("density and window must be positive")
+        try:
+            parse_policy(self.replan_policy)
+        except ValueError as exc:
+            raise ModelError(str(exc)) from None
 
     # -- conversions -------------------------------------------------------------
     def platform_spec(self) -> PlatformSpec:
@@ -89,7 +102,17 @@ class ExperimentConfig:
             max_jobs=self.max_jobs if max_jobs is None else max_jobs,
         )
 
-    def as_dict(self) -> dict[str, float | int | str | None]:
+    def scheduler_options_for(self, key: str) -> dict[str, object]:
+        """Constructor options this configuration implies for scheduler ``key``.
+
+        The replan policy and the incremental toggle only exist on the
+        on-line LP heuristics; every other scheduler gets no options.
+        """
+        if key in ONLINE_LP_SCHEDULERS:
+            return {"policy": self.replan_policy, "incremental": self.incremental_lp}
+        return {}
+
+    def as_dict(self) -> dict[str, float | int | str | bool | None]:
         return {
             "name": self.name,
             "n_clusters": self.n_clusters,
@@ -99,6 +122,8 @@ class ExperimentConfig:
             "processors_per_cluster": self.processors_per_cluster,
             "window": self.window,
             "max_jobs": self.max_jobs,
+            "replan_policy": self.replan_policy,
+            "incremental_lp": self.incremental_lp,
         }
 
 
@@ -111,6 +136,8 @@ def paper_configurations(
     window: float = SUBMISSION_WINDOW_SECONDS,
     max_jobs: int | None = None,
     processors_per_cluster: int = DEFAULT_PROCESSORS_PER_CLUSTER,
+    replan_policy: str = "on-arrival",
+    incremental_lp: bool = True,
 ) -> list[ExperimentConfig]:
     """The full factorial design of Section 5.3 (162 configurations by default)."""
     configs: list[ExperimentConfig] = []
@@ -133,6 +160,8 @@ def paper_configurations(
                             processors_per_cluster=processors_per_cluster,
                             window=window,
                             max_jobs=max_jobs,
+                            replan_policy=replan_policy,
+                            incremental_lp=incremental_lp,
                         )
                     )
     return configs

@@ -70,12 +70,17 @@ def scheduling_overhead(
     max_jobs: int | None = 40,
     replicates: int = 3,
     base_seed: int = 53,
+    replan_policy: str = "on-arrival",
+    incremental_lp: bool = True,
 ) -> list[OverheadRecord]:
     """Measure the scheduler-side wall-clock cost of each strategy.
 
     Defaults mirror the paper's setup (3-cluster platforms) with a reduced
     submission window so that Bender98 remains tractable; the window and job
-    cap are configurable for larger runs.
+    cap are configurable for larger runs.  ``replan_policy`` and
+    ``incremental_lp`` select the replanning pipeline of the on-line LP
+    heuristics, so the overhead tables can compare cadences and the
+    incremental vs from-scratch LP paths.
     """
     config = ExperimentConfig(
         name="overhead",
@@ -85,18 +90,24 @@ def scheduling_overhead(
         density=density,
         window=window,
         max_jobs=max_jobs,
+        replan_policy=replan_policy,
+        incremental_lp=incremental_lp,
     )
     times: dict[str, list[float]] = {key: [] for key in scheduler_keys}
     decisions: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    names: dict[str, str] = {}
     for replicate in range(replicates):
         seed = derive_seed(base_seed, "overhead", replicate)
         instance = generate_instance(
             config.platform_spec(), config.workload_spec(), rng=seed
         )
         for key in scheduler_keys:
-            options = dict((scheduler_options or {}).get(key, {}))
+            options = config.scheduler_options_for(key)
+            options.update((scheduler_options or {}).get(key, {}))
+            scheduler = make_scheduler(key, **options)
+            names.setdefault(key, scheduler.name)
             try:
-                result = simulate(instance, make_scheduler(key, **options))
+                result = simulate(instance, scheduler)
             except ReproError:
                 continue
             times[key].append(result.scheduler_time)
@@ -106,10 +117,9 @@ def scheduling_overhead(
     for key in scheduler_keys:
         if not times[key]:
             continue
-        scheduler_name = make_scheduler(key).name
         records.append(
             OverheadRecord(
-                scheduler=scheduler_name,
+                scheduler=names[key],
                 mean_scheduler_time=float(np.mean(times[key])),
                 max_scheduler_time=float(np.max(times[key])),
                 mean_decisions=float(np.mean(decisions[key])),

@@ -112,7 +112,10 @@ def _run_single_replicate(
     )
     records: list[RunRecord] = []
     for key in scheduler_keys:
-        options = dict((scheduler_options or {}).get(key, {}))
+        # Configuration-level replanning knobs first, then explicit per-key
+        # options so callers can still override them.
+        options = config.scheduler_options_for(key)
+        options.update((scheduler_options or {}).get(key, {}))
         scheduler = make_scheduler(key, **options)
         failed = False
         try:

@@ -15,6 +15,10 @@ on-line heuristics:
 * :mod:`repro.lp.relaxation` -- System (2): re-optimization of a
   sum-stretch-like objective under the constraint that the optimal
   max-stretch is preserved.
+* :mod:`repro.lp.incremental` -- the :class:`~repro.lp.incremental.
+  ReplanContext` carried across on-line replans: cached capability classes
+  and eligibility, warm-started milestone search and constraint-skeleton
+  reuse.
 * :mod:`repro.lp.aggregation` -- materialization of interval/resource work
   allocations into concrete per-machine :class:`~repro.core.schedule.WorkSlice`
   lists.
@@ -29,8 +33,13 @@ from repro.lp.problem import (
     problem_from_instance,
 )
 from repro.lp.milestones import enumerate_milestones
-from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
+from repro.lp.maxstretch import (
+    ConstraintSkeleton,
+    MaxStretchSolution,
+    minimize_max_weighted_flow,
+)
 from repro.lp.relaxation import reoptimize_allocation
+from repro.lp.incremental import ReplanContext
 from repro.lp.aggregation import materialize_solution
 from repro.lp.solver import LinearProgramBuilder, LPResult
 
@@ -42,8 +51,10 @@ __all__ = [
     "problem_from_instance",
     "enumerate_milestones",
     "MaxStretchSolution",
+    "ConstraintSkeleton",
     "minimize_max_weighted_flow",
     "reoptimize_allocation",
+    "ReplanContext",
     "materialize_solution",
     "LinearProgramBuilder",
     "LPResult",

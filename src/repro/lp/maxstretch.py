@@ -21,9 +21,10 @@ interval/resource capacities (affine in ``F``), structural zeros outside the
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
@@ -33,7 +34,13 @@ from repro.lp.milestones import enumerate_milestones
 from repro.lp.problem import LPJob, MaxStretchProblem
 from repro.lp.solver import LinearProgramBuilder
 
-__all__ = ["MaxStretchSolution", "minimize_max_weighted_flow", "solve_on_objective_range"]
+__all__ = [
+    "MaxStretchSolution",
+    "ConstraintSkeleton",
+    "build_skeleton",
+    "minimize_max_weighted_flow",
+    "solve_on_objective_range",
+]
 
 #: Work amounts below this threshold (relative to the job's remaining work)
 #: are dropped from the reported allocation.
@@ -139,15 +146,159 @@ class MaxStretchSolution:
         return worst
 
 
+@dataclass(frozen=True)
+class ConstraintSkeleton:
+    """The structural part of a System (1)/(2) linear program.
+
+    Everything here depends only on the interval structure and the jobs'
+    eligible resources -- not on the objective bounds, the remaining works or
+    the LP objective coefficients.  The on-line :class:`~repro.lp.incremental.
+    ReplanContext` caches skeletons keyed by :attr:`signature` so that
+    successive solves on the same milestone interval (e.g. the winning System
+    (1) probe and the System (2) re-optimization that follows it) skip the
+    variable-indexing and constraint-grouping work.
+
+    Attributes
+    ----------
+    structure:
+        The interval structure the skeleton was built on.
+    keys:
+        ``(interval, resource, job_id)`` for every variable, in the canonical
+        order (job order of the problem, then interval, then resource).  The
+        order matters: it pins the LP column order, keeping solver output
+        bit-identical between the cached and the from-scratch paths.
+    capacity_groups:
+        ``((interval, resource), variable positions)`` sorted by (interval,
+        resource) -- one capacity row (1d) each.
+    completeness_groups:
+        ``(job position in problem.jobs, variable positions)`` in job order --
+        one completeness row (1e) each.
+    signature:
+        Hashable cache key: the boundary affines plus every job's
+        (id, window, resources) tuple.
+    """
+
+    structure: IntervalStructure
+    keys: tuple[tuple[int, int, int], ...]
+    capacity_groups: tuple[tuple[tuple[int, int], tuple[int, ...]], ...]
+    completeness_groups: tuple[tuple[int, tuple[int, ...]], ...]
+    signature: tuple
+
+    @property
+    def n_variables(self) -> int:
+        return len(self.keys)
+
+
+def _skeleton_signature(problem: MaxStretchProblem, structure: IntervalStructure) -> tuple:
+    boundaries = tuple((b.const, b.coef) for b in structure.boundaries)
+    jobs = tuple(
+        (
+            job.job_id,
+            structure.job_start_index[job.job_id],
+            structure.job_deadline_index[job.job_id],
+            job.resources,
+        )
+        for job in problem.jobs
+    )
+    return (boundaries, jobs)
+
+
+def build_skeleton(
+    problem: MaxStretchProblem,
+    structure: IntervalStructure,
+    cache: MutableMapping[tuple, "ConstraintSkeleton"] | None = None,
+) -> ConstraintSkeleton | None:
+    """Build (or fetch from ``cache``) the constraint skeleton for ``structure``.
+
+    Returns ``None`` when some job has no interval to run in, i.e. its
+    deadline does not lie strictly after its earliest start -- the quick
+    structural infeasibility check of the milestone search.
+    """
+    for job in problem.jobs:
+        if len(structure.job_intervals(job.job_id)) == 0:
+            return None
+
+    signature = _skeleton_signature(problem, structure)
+    if cache is not None:
+        cached = cache.get(signature)
+        if cached is not None:
+            return cached
+
+    keys: list[tuple[int, int, int]] = []
+    by_interval_resource: dict[tuple[int, int], list[int]] = {}
+    by_job: list[tuple[int, tuple[int, ...]]] = []
+    for pos_job, job in enumerate(problem.jobs):
+        job_positions: list[int] = []
+        for t in structure.job_intervals(job.job_id):
+            for c in job.resources:
+                position = len(keys)
+                keys.append((t, c, job.job_id))
+                by_interval_resource.setdefault((t, c), []).append(position)
+                job_positions.append(position)
+        by_job.append((pos_job, tuple(job_positions)))
+
+    skeleton = ConstraintSkeleton(
+        structure=structure,
+        keys=tuple(keys),
+        capacity_groups=tuple(
+            (tc, tuple(positions))
+            for tc, positions in sorted(by_interval_resource.items())
+        ),
+        completeness_groups=tuple(by_job),
+        signature=signature,
+    )
+    if cache is not None:
+        cache[signature] = skeleton
+    return skeleton
+
+
+def _assemble_constraints(
+    builder: LinearProgramBuilder,
+    problem: MaxStretchProblem,
+    skeleton: ConstraintSkeleton,
+    *,
+    offset: int,
+    f_var: int | None,
+    objective_value: float | None,
+) -> None:
+    """Emit constraints (1d)/(1e) from a skeleton.
+
+    ``offset`` is the index of the first x variable in the builder (1 when
+    the objective variable ``F`` precedes them, 0 for fixed-objective
+    solves); row order matches the historical builder exactly.
+    """
+    structure = skeleton.structure
+    for (t, c), positions in skeleton.capacity_groups:
+        length = structure.interval_length(t)
+        speed = problem.resources[c].speed
+        terms: list[tuple[int, float]] = [(pos + offset, 1.0) for pos in positions]
+        if f_var is not None:
+            terms.append((f_var, -speed * length.coef))
+            rhs = speed * length.const
+        else:
+            assert objective_value is not None
+            rhs = speed * max(0.0, length.at(objective_value))
+        builder.add_leq(terms, rhs)
+    for pos_job, positions in skeleton.completeness_groups:
+        builder.add_eq(
+            [(pos + offset, 1.0) for pos in positions],
+            problem.jobs[pos_job].remaining_work,
+        )
+
+
 def solve_on_objective_range(
     problem: MaxStretchProblem,
     f_low: float,
     f_high: float,
+    *,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
 ) -> MaxStretchSolution | None:
     """Solve System (1) restricted to objective values in ``[f_low, f_high]``.
 
     Returns ``None`` when no feasible schedule exists with a maximum weighted
     flow in that range (the expected outcome for ranges below the optimum).
+    ``skeleton_cache`` optionally reuses constraint skeletons across solves
+    sharing the same interval structure (see :class:`ConstraintSkeleton`).
     """
     if not problem.jobs:
         return MaxStretchSolution(
@@ -162,33 +313,24 @@ def solve_on_objective_range(
 
     probe = _probe_value(f_low, f_high)
     structure = build_interval_structure(problem, probe)
-
-    # Quick structural infeasibility check: a job whose deadline does not lie
-    # strictly after its earliest start has no interval to run in.
-    for job in problem.jobs:
-        if len(structure.job_intervals(job.job_id)) == 0:
-            return None
+    skeleton = build_skeleton(problem, structure, skeleton_cache)
+    if skeleton is None:
+        return None
 
     builder = LinearProgramBuilder()
     f_var = builder.add_variable(objective=1.0, lower=f_low, upper=f_high, name="F")
-
-    # Variables x[t, c, j].
-    var_index: dict[tuple[int, int, int], int] = {}
-    for job in problem.jobs:
-        for t in structure.job_intervals(job.job_id):
-            for c in job.resources:
-                var_index[(t, c, job.job_id)] = builder.add_variable(
-                    name=f"x[{t},{c},{job.job_id}]"
-                )
-
-    _add_capacity_constraints(builder, problem, structure, var_index, f_var=f_var)
-    _add_completeness_constraints(builder, problem, structure, var_index)
+    for t, c, j in skeleton.keys:
+        builder.add_variable(name=f"x[{t},{c},{j}]")
+    _assemble_constraints(
+        builder, problem, skeleton, offset=1, f_var=f_var, objective_value=None
+    )
 
     result = builder.solve()
     if not result.feasible:
         return None
 
     objective = result.value(f_var)
+    var_index = {key: pos + 1 for pos, key in enumerate(skeleton.keys)}
     allocations = _extract_allocations(problem, var_index, result.values)
     bounds = tuple(structure.bounds_at(objective))
     return MaxStretchSolution(
@@ -204,6 +346,8 @@ def minimize_max_weighted_flow(
     problem: MaxStretchProblem,
     *,
     max_milestones: int | None = None,
+    warm_start: float | None = None,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
 ) -> MaxStretchSolution:
     """Compute the optimal max weighted flow (max-stretch) for ``problem``.
 
@@ -216,6 +360,17 @@ def minimize_max_weighted_flow(
         thinned uniformly when longer).  The result is then an upper bound on
         the optimum, within the resolution of the retained milestones; the
         default (no cap) is exact.
+    warm_start:
+        Optional objective value expected to be close to the optimum
+        (typically the previous replan's :math:`S^*` in the on-line
+        heuristics).  The milestone search starts at the interval containing
+        it and gallops outward, which usually needs 2-3 LP probes instead of
+        the dozen of a cold search.  Because feasibility is monotone in the
+        objective, the result is *identical* to a cold search -- only the
+        probe order changes.
+    skeleton_cache:
+        Optional mapping reusing constraint skeletons across solves (see
+        :class:`ConstraintSkeleton`).
 
     Raises
     ------
@@ -236,53 +391,106 @@ def minimize_max_weighted_flow(
     boundaries = [f_lb] + milestones + [f_ub]
     last = len(boundaries) - 2
 
-    # Feasibility of "max weighted flow in [boundaries[i], boundaries[i+1]]"
-    # is monotone in the interval index i.  The LPs built for small objective
-    # values are much smaller (each job spans few elementary intervals), so
-    # instead of a plain binary search over the milestone list we *gallop*
-    # from the low end -- testing indices 0, 1, 3, 7, ... -- and only then
-    # binary-search inside the bracket found.  This keeps every probe close
-    # to the optimum and avoids the large LPs of mid-range probes.
-    best: MaxStretchSolution | None = None
-    lo = 0
-    hi = last
-    prev = -1
-    idx = 0
-    step = 1
-    while idx <= last:
-        solution = solve_on_objective_range(problem, boundaries[idx], boundaries[idx + 1])
-        if solution is not None:
-            best = solution
-            hi = idx - 1
-            lo = prev + 1
-            break
-        prev = idx
-        if idx == last:
-            break
-        idx = min(idx + step, last)
-        step *= 2
+    start_idx = 0
+    if warm_start is not None and last > 0:
+        start_idx = min(max(bisect.bisect_right(boundaries, warm_start) - 1, 0), last)
 
-    # Refine inside the bracket (lo..hi are all untested indices below the
-    # first known-feasible one).
-    while best is not None and lo <= hi:
-        mid = (lo + hi) // 2
-        solution = solve_on_objective_range(problem, boundaries[mid], boundaries[mid + 1])
-        if solution is not None:
-            best = solution
-            hi = mid - 1
-        else:
-            lo = mid + 1
+    best = _search_first_feasible(
+        problem, boundaries, start_idx, skeleton_cache=skeleton_cache
+    )
 
     if best is None:
         # The serial upper bound should always be feasible; if roundoff made
         # the last interval infeasible, retry with a widened bracket before
         # giving up.
-        widened = solve_on_objective_range(problem, f_lb, 2.0 * f_ub + 1.0)
+        widened = solve_on_objective_range(
+            problem, f_lb, 2.0 * f_ub + 1.0, skeleton_cache=skeleton_cache
+        )
         if widened is None:
             raise InfeasibleError(
                 "no feasible schedule found for the max weighted flow problem"
             )
         best = widened
+    return best
+
+
+def _search_first_feasible(
+    problem: MaxStretchProblem,
+    boundaries: Sequence[float],
+    start_idx: int,
+    *,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+) -> MaxStretchSolution | None:
+    """Locate the first feasible milestone interval and return its optimum.
+
+    Feasibility of "max weighted flow in [boundaries[i], boundaries[i+1]]" is
+    monotone in the interval index ``i``, so the minimizer lives in the first
+    feasible interval.  The search gallops outward from ``start_idx`` --
+    downward while feasible, upward while infeasible, with doubling steps --
+    then binary-searches the bracket found.  With ``start_idx = 0`` this is
+    the classical cold search (the LPs built for small objective values are
+    much smaller, so probing from the low end keeps every probe cheap); a
+    warm ``start_idx`` near the optimum typically needs only 2-3 probes.
+    """
+    last = len(boundaries) - 2
+
+    def probe(i: int) -> MaxStretchSolution | None:
+        return solve_on_objective_range(
+            problem, boundaries[i], boundaries[i + 1], skeleton_cache=skeleton_cache
+        )
+
+    best: MaxStretchSolution | None = None
+    lo = 0
+    hi = -1
+    solution = probe(start_idx)
+    if solution is not None:
+        # Gallop downward until an infeasible interval bounds the bracket
+        # (a feasible probe at index 0 means the optimum lives there and the
+        # bracket stays empty).
+        best = solution
+        floor = start_idx
+        step = 1
+        idx = start_idx - 1
+        while idx >= 0:
+            solution = probe(idx)
+            if solution is None:
+                lo, hi = idx + 1, floor - 1
+                break
+            best = solution
+            floor = idx
+            if idx == 0:
+                break
+            idx = max(idx - step, 0)
+            step *= 2
+    else:
+        # Gallop upward until a feasible interval is found.
+        prev = start_idx
+        step = 1
+        idx = start_idx + 1
+        while idx <= last:
+            solution = probe(idx)
+            if solution is not None:
+                best = solution
+                lo, hi = prev + 1, idx - 1
+                break
+            prev = idx
+            if idx == last:
+                break
+            idx = min(idx + step, last)
+            step *= 2
+        if best is None:
+            return None
+
+    # Refine inside the bracket (lo..hi are untested indices below the first
+    # known-feasible one).
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        solution = probe(mid)
+        if solution is not None:
+            best = solution
+            hi = mid - 1
+        else:
+            lo = mid + 1
     return best
 
 
@@ -296,54 +504,6 @@ def _probe_value(f_low: float, f_high: float) -> float:
     if f_high <= f_low:
         return f_low
     return 0.5 * (f_low + f_high)
-
-
-def _add_capacity_constraints(
-    builder: LinearProgramBuilder,
-    problem: MaxStretchProblem,
-    structure: IntervalStructure,
-    var_index: Mapping[tuple[int, int, int], int],
-    *,
-    f_var: int | None,
-    objective_value: float | None = None,
-) -> None:
-    """Constraint (1d): per interval and resource, work fits in the interval.
-
-    When ``f_var`` is given the interval length is affine in the objective
-    variable; otherwise ``objective_value`` must be provided and the length is
-    a constant.
-    """
-    by_interval_resource: dict[tuple[int, int], list[int]] = {}
-    for (t, c, j), idx in var_index.items():
-        by_interval_resource.setdefault((t, c), []).append(idx)
-
-    for (t, c), indices in sorted(by_interval_resource.items()):
-        length = structure.interval_length(t)
-        speed = problem.resources[c].speed
-        terms: list[tuple[int, float]] = [(idx, 1.0) for idx in indices]
-        if f_var is not None:
-            # sum x - speed * coef * F <= speed * const
-            terms.append((f_var, -speed * length.coef))
-            rhs = speed * length.const
-        else:
-            assert objective_value is not None
-            rhs = speed * max(0.0, length.at(objective_value))
-        builder.add_leq(terms, rhs)
-
-
-def _add_completeness_constraints(
-    builder: LinearProgramBuilder,
-    problem: MaxStretchProblem,
-    structure: IntervalStructure,
-    var_index: Mapping[tuple[int, int, int], int],
-) -> None:
-    """Constraint (1e): every job's remaining work is fully allocated."""
-    by_job: dict[int, list[int]] = {}
-    for (t, c, j), idx in var_index.items():
-        by_job.setdefault(j, []).append(idx)
-    for job in problem.jobs:
-        indices = by_job.get(job.job_id, [])
-        builder.add_eq([(idx, 1.0) for idx in indices], job.remaining_work)
 
 
 def _extract_allocations(

@@ -32,7 +32,15 @@ from typing import Iterable, Mapping, Sequence
 from repro.core.errors import ModelError
 from repro.core.instance import Instance
 
-__all__ = ["Affine", "Resource", "LPJob", "MaxStretchProblem", "problem_from_instance"]
+__all__ = [
+    "Affine",
+    "Resource",
+    "LPJob",
+    "MaxStretchProblem",
+    "problem_from_instance",
+    "build_resources",
+    "build_eligibility",
+]
 
 
 @dataclass(frozen=True)
@@ -205,6 +213,34 @@ class MaxStretchProblem:
         return max(bound, self.objective_lower_bound())
 
 
+def build_resources(instance: Instance) -> tuple[Resource, ...]:
+    """The LP resource tuple: one aggregated resource per capability class."""
+    return tuple(
+        Resource(
+            index=i,
+            speed=cls.aggregate_speed,
+            machine_ids=cls.machine_ids,
+            databanks=cls.databanks,
+        )
+        for i, cls in enumerate(instance.platform.capability_classes())
+    )
+
+
+def build_eligibility(
+    instance: Instance, resources: Sequence[Resource]
+) -> dict[str | None, tuple[int, ...]]:
+    """``databank -> eligible resource indices`` for every databank in use."""
+    eligibility: dict[str | None, tuple[int, ...]] = {}
+    for job in instance.jobs:
+        if job.databank not in eligibility:
+            eligibility[job.databank] = tuple(
+                r.index
+                for r in resources
+                if job.databank is None or job.databank in r.databanks
+            )
+    return eligibility
+
+
 def problem_from_instance(
     instance: Instance,
     *,
@@ -212,6 +248,8 @@ def problem_from_instance(
     remaining: Mapping[int, float] | None = None,
     job_ids: Iterable[int] | None = None,
     flow_factors: Mapping[int, float] | None = None,
+    resources: tuple[Resource, ...] | None = None,
+    eligibility: Mapping[str | None, tuple[int, ...]] | None = None,
 ) -> MaxStretchProblem:
     """Build a :class:`MaxStretchProblem` from an instance.
 
@@ -237,17 +275,19 @@ def problem_from_instance(
         Optional per-job override of :math:`1/w_j`.  By default the stretch
         convention is used: the flow factor is the job's ideal time on its
         eligible machines.
+    resources, eligibility:
+        Precomputed resource tuple and ``databank -> eligible resource
+        indices`` mapping, as cached by
+        :class:`~repro.lp.incremental.ReplanContext`.  The platform never
+        changes during a simulation, so on-line replans can skip the
+        capability-class decomposition; the values must describe exactly
+        ``instance.platform`` (callers other than the cache should leave the
+        defaults).
     """
-    classes = instance.platform.capability_classes()
-    resources = tuple(
-        Resource(
-            index=i,
-            speed=cls.aggregate_speed,
-            machine_ids=cls.machine_ids,
-            databanks=cls.databanks,
-        )
-        for i, cls in enumerate(classes)
-    )
+    if resources is None:
+        resources = build_resources(instance)
+    if eligibility is None:
+        eligibility = build_eligibility(instance, resources)
 
     if job_ids is not None:
         wanted = set(job_ids)
@@ -262,9 +302,7 @@ def problem_from_instance(
         rem = job.size if remaining is None else remaining.get(job.job_id, job.size)
         if rem is None or rem <= 0:
             continue
-        eligible = tuple(
-            i for i, cls in enumerate(classes) if cls.hosts(job.databank)
-        )
+        eligible = eligibility[job.databank]
         if not eligible:
             raise ModelError(f"job {job.job_id} has no eligible capability class")
         if flow_factors is not None and job.job_id in flow_factors:

@@ -19,13 +19,16 @@ with the objective fixed at :math:`\\mathcal{S}^*`.
 
 from __future__ import annotations
 
+from typing import MutableMapping
+
 from repro.core.errors import InfeasibleError
 from repro.lp.intervals import build_interval_structure
 from repro.lp.maxstretch import (
+    ConstraintSkeleton,
     MaxStretchSolution,
-    _add_capacity_constraints,
-    _add_completeness_constraints,
+    _assemble_constraints,
     _extract_allocations,
+    build_skeleton,
 )
 from repro.lp.problem import MaxStretchProblem
 from repro.lp.solver import LinearProgramBuilder
@@ -39,6 +42,7 @@ def reoptimize_allocation(
     *,
     inflation: float = 1e-7,
     max_inflation: float = 1e-3,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
 ) -> MaxStretchSolution:
     """Solve System (2) for ``problem`` at max weighted flow ``objective``.
 
@@ -49,6 +53,12 @@ def reoptimize_allocation(
     objective:
         The max weighted flow bound :math:`\\mathcal{S}^*` (deadlines are
         derived from it).
+    skeleton_cache:
+        Optional mapping reusing constraint skeletons across solves.  The
+        System (2) probe usually lands in the same milestone interval as the
+        winning System (1) probe, so the skeleton is a cache hit when the
+        same mapping was passed to
+        :func:`~repro.lp.maxstretch.minimize_max_weighted_flow`.
     inflation:
         Relative slack added to ``objective`` before building the deadlines.
         The optimum returned by :func:`minimize_max_weighted_flow` sits
@@ -78,7 +88,7 @@ def reoptimize_allocation(
     last_error: str | None = None
     while slack <= max_inflation:
         target = objective * (1.0 + slack)
-        solution = _solve_fixed_objective(problem, target)
+        solution = _solve_fixed_objective(problem, target, skeleton_cache)
         if solution is not None:
             return solution
         last_error = f"System (2) infeasible at objective {target!r}"
@@ -87,35 +97,35 @@ def reoptimize_allocation(
 
 
 def _solve_fixed_objective(
-    problem: MaxStretchProblem, objective: float
+    problem: MaxStretchProblem,
+    objective: float,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
 ) -> MaxStretchSolution | None:
     structure = build_interval_structure(problem, objective)
-    for job in problem.jobs:
-        if len(structure.job_intervals(job.job_id)) == 0:
-            return None
+    skeleton = build_skeleton(problem, structure, skeleton_cache)
+    if skeleton is None:
+        return None
+    structure = skeleton.structure
 
     bounds = structure.bounds_at(objective)
     builder = LinearProgramBuilder()
-    var_index: dict[tuple[int, int, int], int] = {}
-    for job in problem.jobs:
-        for t in structure.job_intervals(job.job_id):
-            midpoint = 0.5 * (bounds[t][0] + bounds[t][1])
-            # Objective coefficient: fraction of the job processed in the
-            # interval (work / remaining) times the interval midpoint.
-            coef = midpoint / job.remaining_work
-            for c in job.resources:
-                var_index[(t, c, job.job_id)] = builder.add_variable(
-                    objective=coef, name=f"x[{t},{c},{job.job_id}]"
-                )
+    remaining = {job.job_id: job.remaining_work for job in problem.jobs}
+    for t, c, j in skeleton.keys:
+        midpoint = 0.5 * (bounds[t][0] + bounds[t][1])
+        # Objective coefficient: fraction of the job processed in the
+        # interval (work / remaining) times the interval midpoint.
+        builder.add_variable(
+            objective=midpoint / remaining[j], name=f"x[{t},{c},{j}]"
+        )
 
-    _add_capacity_constraints(
-        builder, problem, structure, var_index, f_var=None, objective_value=objective
+    _assemble_constraints(
+        builder, problem, skeleton, offset=0, f_var=None, objective_value=objective
     )
-    _add_completeness_constraints(builder, problem, structure, var_index)
 
     result = builder.solve()
     if not result.feasible:
         return None
+    var_index = {key: pos for pos, key in enumerate(skeleton.keys)}
     allocations = _extract_allocations(problem, var_index, result.values)
     return MaxStretchSolution(
         objective=objective,

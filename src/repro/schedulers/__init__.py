@@ -25,6 +25,13 @@ plus the classical heuristics used in the theory sections:
                         (the production GriPPS policy).
 ``MCT-Div``             MCT exploiting divisibility (still non-preemptive).
 ======================  ==============================================================
+
+The on-line LP heuristics additionally accept a *replan policy*
+(:mod:`repro.schedulers.policies`) deciding when the LP resolutions run --
+``on-arrival`` (paper-faithful), ``batched:D`` or ``threshold:K`` -- and an
+``incremental`` toggle selecting the warm-started
+:class:`~repro.lp.incremental.ReplanContext` hot path (default) or the
+from-scratch resolution of the original heuristic.
 """
 
 from repro.schedulers.base import (
@@ -46,6 +53,15 @@ from repro.schedulers.bender98 import Bender98Scheduler
 from repro.schedulers.mct import MCTDivScheduler, MCTScheduler
 from repro.schedulers.offline import OfflineScheduler
 from repro.schedulers.online_lp import OnlineLPScheduler
+from repro.schedulers.policies import (
+    BatchedPolicy,
+    OnArrivalPolicy,
+    ReplanDecision,
+    ReplanPolicy,
+    ThresholdPolicy,
+    available_policies,
+    parse_policy,
+)
 from repro.schedulers.registry import (
     available_schedulers,
     make_scheduler,
@@ -70,6 +86,13 @@ __all__ = [
     "MCTDivScheduler",
     "OfflineScheduler",
     "OnlineLPScheduler",
+    "ReplanPolicy",
+    "ReplanDecision",
+    "OnArrivalPolicy",
+    "BatchedPolicy",
+    "ThresholdPolicy",
+    "parse_policy",
+    "available_policies",
     "make_scheduler",
     "register_scheduler",
     "available_schedulers",

@@ -21,12 +21,15 @@ import bisect
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.core.schedule import Schedule
 from repro.simulation.state import Assignment, JobRuntime, SchedulerState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.schedulers.policies import ReplanPolicy
 
 __all__ = ["Scheduler", "PriorityScheduler", "PlanBasedScheduler", "PlanSegment"]
 
@@ -47,6 +50,17 @@ class Scheduler(ABC):
 
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
         """Called when ``job`` is released (after it was added to ``state``)."""
+
+    def on_arrivals(self, state: SchedulerState, jobs: Sequence[Job]) -> None:
+        """Called once per batch of simultaneous releases.
+
+        The engine delivers arrivals in batches (usually of size one); the
+        default forwards to :meth:`on_arrival` job by job.  Schedulers whose
+        arrival handling is expensive (LP replans) override this to react
+        once per batch.
+        """
+        for job in jobs:
+            self.on_arrival(state, job)
 
     def on_completion(self, state: SchedulerState, job_id: int) -> None:
         """Called when a job completes."""
@@ -129,15 +143,29 @@ class PlanBasedScheduler(Scheduler):
     :meth:`extend_plan` or :meth:`clear_plan_from` (typically from
     :meth:`reset` or :meth:`on_arrival`); :meth:`assign` then simply reads
     the plan.
+
+    On-line subclasses may additionally hand a
+    :class:`~repro.schedulers.policies.ReplanPolicy` to the constructor and
+    implement :meth:`replan` (and, for absorbing policies,
+    :meth:`absorb_arrivals`).  The policy then decides, per arrival batch,
+    whether to recompute the plan now, wake up later (deferred arrivals cap
+    the assignment's ``valid_until``), or splice the new jobs into the
+    existing plan cheaply.  Without a policy the historical behaviour is
+    unchanged: every arrival is forwarded to :meth:`on_arrival`.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, policy: "ReplanPolicy | None" = None) -> None:
         self.instance: Instance | None = None
         self._plan: dict[int, list[PlanSegment]] = {}
+        self.policy = policy
+        self._recheck_at: float | None = None
 
     def reset(self, instance: Instance) -> None:
         self.instance = instance
         self._plan = {m.machine_id: [] for m in instance.platform}
+        self._recheck_at = None
+        if self.policy is not None:
+            self.policy.reset(instance)
 
     # -- plan manipulation ---------------------------------------------------------
     def set_plan(self, segments: Iterable[PlanSegment]) -> None:
@@ -194,8 +222,76 @@ class PlanBasedScheduler(Scheduler):
             horizon = segment.end
         return horizon
 
+    def plan_tail(self, machine_id: int, time: float) -> float:
+        """Date at which the machine's *whole* plan is over (>= ``time``).
+
+        Unlike :meth:`plan_horizon` this skips past internal idle gaps, so a
+        segment appended at the tail can never overlap planned work (LP plans
+        routinely leave gaps between milestone intervals).
+        """
+        per_machine = self._plan.get(machine_id, [])
+        if not per_machine:
+            return time
+        return max(time, max(segment.end for segment in per_machine))
+
+    # -- policy-driven replanning --------------------------------------------------------
+    def replan(self, state: SchedulerState) -> None:
+        """Recompute the plan from the current state (policy hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} uses a replan policy but does not implement replan()"
+        )
+
+    def absorb_arrivals(self, state: SchedulerState, jobs: Sequence[Job]) -> None:
+        """Cheaply splice deferred arrivals into the current plan (policy hook)."""
+        raise NotImplementedError(
+            f"{type(self).__name__}'s replan policy absorbs arrivals but "
+            f"absorb_arrivals() is not implemented"
+        )
+
+    def _do_replan(self, state: SchedulerState) -> None:
+        self._recheck_at = None
+        self.replan(state)
+        if self.policy is not None:
+            self.policy.notify_replanned(state)
+
+    def on_arrivals(self, state: SchedulerState, jobs: Sequence[Job]) -> None:
+        if self.policy is None:
+            super().on_arrivals(state, jobs)
+            return
+        decision = self.policy.on_arrivals(state, jobs, self)
+        if decision.replan:
+            self._do_replan(state)
+            return
+        if decision.absorb:
+            self.absorb_arrivals(state, jobs)
+        if decision.recheck_at is not None:
+            self._recheck_at = (
+                decision.recheck_at
+                if self._recheck_at is None
+                else min(self._recheck_at, decision.recheck_at)
+            )
+
+    def on_completion(self, state: SchedulerState, job_id: int) -> None:
+        if self.policy is None:
+            return
+        decision = self.policy.on_completion(state, job_id, self)
+        if decision.replan:
+            self._do_replan(state)
+
     # -- plan following -----------------------------------------------------------------
     def assign(self, state: SchedulerState) -> Assignment:
+        if self._recheck_at is not None and state.time >= self._recheck_at - 1e-9:
+            # A deferred-replan wake-up date has been reached.
+            self._do_replan(state)
+        assignment = self.plan_assignment(state)
+        if self._recheck_at is not None and (
+            assignment.valid_until is None or assignment.valid_until > self._recheck_at
+        ):
+            assignment.valid_until = self._recheck_at
+        return assignment
+
+    def plan_assignment(self, state: SchedulerState) -> Assignment:
+        """Read the current plan at ``state.time`` (overridable)."""
         time = state.time
         mapping: dict[int, int] = {}
         breakpoints: list[float] = []

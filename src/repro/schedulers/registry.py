@@ -38,7 +38,19 @@ __all__ = [
     "available_schedulers",
     "paper_schedulers",
     "PAPER_TABLE1_ORDER",
+    "ONLINE_LP_SCHEDULERS",
 ]
+
+#: Keys of the on-line LP heuristics -- the schedulers that accept the
+#: replanning knobs (``policy=...``, ``incremental=...``).  Kept next to the
+#: registrations below so a new variant cannot drift out of sync with the
+#: experiment/CLI layers that consult this tuple.
+ONLINE_LP_SCHEDULERS: tuple[str, ...] = (
+    "online",
+    "online-edf",
+    "online-egdf",
+    "online-nonopt",
+)
 
 SchedulerFactory = Callable[[], Scheduler]
 

@@ -9,6 +9,7 @@ computed exactly, with no time-stepping error.
 """
 
 from repro.simulation.state import Assignment, JobRuntime, SchedulerState
+from repro.simulation.clock import EventQueue, EventType, QueuedEvent, SimulationClock
 from repro.simulation.events import (
     ArrivalEvent,
     CompletionEvent,
@@ -22,6 +23,10 @@ __all__ = [
     "Assignment",
     "JobRuntime",
     "SchedulerState",
+    "EventQueue",
+    "EventType",
+    "QueuedEvent",
+    "SimulationClock",
     "SimulationEvent",
     "ArrivalEvent",
     "CompletionEvent",

@@ -7,24 +7,32 @@ dedicated to its job, so a job's remaining work decreases at the sum of the
 speeds of its assigned machines and the next completion date can be computed
 in closed form.  Decisions are requested:
 
-* when a job arrives,
+* when jobs arrive (simultaneous arrivals are batched into one callback),
 * when a job completes,
 * when the current assignment's ``valid_until`` horizon is reached (used by
-  plan-based schedulers whose plans contain internal breakpoints).
+  plan-based schedulers whose plans contain internal breakpoints, and by
+  deferred-replan policies asking to be woken up later).
 
-The engine also records the wall-clock time spent inside scheduler callbacks,
-which reproduces the scheduling-overhead comparison of Section 5.3.
+Exogenous events (arrivals) live in the heap-based
+:class:`~repro.simulation.clock.EventQueue`; completion dates are recomputed
+in closed form from the current rates at every step, so they are never
+queued and never go stale.  The engine also records the wall-clock time
+spent inside scheduler callbacks, which reproduces the scheduling-overhead
+comparison of Section 5.3.
 """
 
 from __future__ import annotations
 
 import math
 import time as _time
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.errors import ModelError, ScheduleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule, WorkSlice
+from repro.simulation.clock import EventQueue, EventType, SimulationClock
 from repro.simulation.events import ArrivalEvent, CompletionEvent, DecisionEvent, SimulationEvent
 from repro.simulation.result import SimulationResult
 from repro.simulation.state import Assignment, SchedulerState
@@ -42,7 +50,19 @@ _MAX_STALL = 1000
 
 
 class SimulationEngine:
-    """Runs one scheduler against one instance."""
+    """Runs one scheduler against one instance.
+
+    Parameters
+    ----------
+    instance, scheduler:
+        What to simulate.
+    record_events:
+        Keep an event trace (arrivals, decisions, completions) in the result.
+    max_steps:
+        Safety bound on the number of simulation steps before declaring a
+        live-lock.  ``None`` (default) derives a generous bound from the
+        instance size; tests inject small values to exercise the guard.
+    """
 
     def __init__(
         self,
@@ -50,11 +70,15 @@ class SimulationEngine:
         scheduler: "Scheduler",
         *,
         record_events: bool = False,
+        max_steps: int | None = None,
     ):
         self.instance = instance
         self.scheduler = scheduler
         self.record_events = record_events
         self.state = SchedulerState(instance)
+        self.clock = SimulationClock()
+        self.queue = EventQueue()
+        self.max_steps = max_steps
         self._slices: list[WorkSlice] = []
         self._events: list[SimulationEvent] = []
         self._scheduler_time = 0.0
@@ -64,19 +88,22 @@ class SimulationEngine:
     def run(self) -> SimulationResult:
         """Simulate until every job has completed and return the result."""
         instance, state = self.instance, self.state
-        pending = list(instance.jobs)  # already sorted by release date
-        next_arrival_idx = 0
-        n_jobs = len(pending)
+        n_jobs = len(instance.jobs)
+        for job in instance.jobs:  # already sorted by release date
+            self.queue.push_arrival(job)
 
         start = _time.perf_counter()
         self._call(self.scheduler.reset, instance)
         self._scheduler_time += _time.perf_counter() - start
 
-        state.time = pending[0].release if pending else 0.0
+        self.clock = SimulationClock(self.queue.next_time() if n_jobs else 0.0)
+        state.time = self.clock.now
         stall_count = 0
         # Generous safety bound: every event (arrival, completion, plan
         # breakpoint) should trigger a handful of steps at most.
-        max_steps = 1000 + 200 * (n_jobs + 1) * (len(instance.platform) + 1)
+        max_steps = self.max_steps
+        if max_steps is None:
+            max_steps = 1000 + 200 * (n_jobs + 1) * (len(instance.platform) + 1)
         steps = 0
 
         while True:
@@ -87,30 +114,27 @@ class SimulationEngine:
                     f"({self.scheduler.name}) appears to be live-locked"
                 )
 
-            # 1. Release every job whose release date has been reached.
-            while (
-                next_arrival_idx < n_jobs
-                and pending[next_arrival_idx].release <= state.time + 1e-12
-            ):
-                job = pending[next_arrival_idx]
-                next_arrival_idx += 1
-                state.release(job)
-                if self.record_events:
-                    self._events.append(
-                        ArrivalEvent(time=state.time, job_id=job.job_id, size=job.size,
-                                     databank=job.databank)
-                    )
-                self._timed(self.scheduler.on_arrival, state, job)
+            # 1. Dispatch every event due now; simultaneous arrivals form one
+            # batch and trigger a single scheduler callback.
+            due = self.queue.pop_due(state.time)
+            arrivals = [e.job for e in due if e.type is EventType.ARRIVAL and e.job]
+            if arrivals:
+                for job in arrivals:
+                    state.release(job)
+                    if self.record_events:
+                        self._events.append(
+                            ArrivalEvent(time=state.time, job_id=job.job_id,
+                                         size=job.size, databank=job.databank)
+                        )
+                self._timed(self.scheduler.on_arrivals, state, arrivals)
 
-            next_arrival = (
-                pending[next_arrival_idx].release if next_arrival_idx < n_jobs else math.inf
-            )
+            next_event = self.queue.next_time()
 
             # 2. Termination / idle handling.
             if not state.active:
-                if next_arrival_idx >= n_jobs:
+                if math.isinf(next_event):
                     break
-                state.time = next_arrival
+                state.time = self.clock.advance_to(next_event)
                 continue
 
             # 3. Ask the scheduler for an assignment.
@@ -128,24 +152,24 @@ class SimulationEngine:
                     )
                 )
 
-            # 4. Compute the processing rate of every active job.
+            # 4. Compute the processing rate of every active job, once per
+            # step (the arrays feed both the completion horizon and the
+            # advance below).
             rates: dict[int, float] = {}
             for machine_id, job_id in assignment.mapping.items():
                 speed = instance.machine(machine_id).speed
                 rates[job_id] = rates.get(job_id, 0.0) + speed
+            rated_ids, rate_arr, remaining_arr = self._rate_arrays(rates, state)
 
-            # 5. Horizon of this step: next arrival, scheduler horizon, or the
-            # earliest completion under the current rates.
-            horizon = next_arrival
+            # 5. Horizon of this step: next queued event, scheduler horizon,
+            # or the earliest completion under the current rates.
+            horizon = next_event
             if assignment.valid_until is not None:
                 horizon = min(horizon, max(assignment.valid_until, state.time))
-            earliest_completion = math.inf
-            for job_id, rate in rates.items():
-                if rate <= 0:
-                    continue
-                remaining = state.active[job_id].remaining
-                earliest_completion = min(earliest_completion, state.time + remaining / rate)
-            step_end = min(horizon, earliest_completion)
+            step_end = min(
+                horizon,
+                _earliest_completion(rate_arr, remaining_arr, state.time),
+            )
 
             if math.isinf(step_end):
                 # Nothing is running and nothing will ever arrive: the
@@ -166,8 +190,9 @@ class SimulationEngine:
                 stall_count = 0
 
             # 6. Advance execution to ``step_end``.
-            self._advance(assignment, rates, state.time, step_end)
-            state.time = step_end
+            self._advance(assignment, rated_ids, rate_arr, remaining_arr,
+                          state.time, step_end)
+            state.time = self.clock.advance_to(step_end)
 
             # 7. Complete finished jobs.
             self._collect_completions()
@@ -202,14 +227,34 @@ class SimulationEngine:
                     f"(databank {job.databank!r} not hosted)"
                 )
 
+    @staticmethod
+    def _rate_arrays(
+        rates: Mapping[int, float], state: SchedulerState
+    ) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """Job ids receiving work, their rates and remaining works, as arrays."""
+        job_ids = list(rates)
+        n = len(job_ids)
+        rate = np.fromiter((rates[j] for j in job_ids), dtype=np.float64, count=n)
+        remaining = np.fromiter(
+            (state.active[j].remaining for j in job_ids), dtype=np.float64, count=n
+        )
+        return job_ids, rate, remaining
+
     def _advance(
         self,
         assignment: Assignment,
-        rates: dict[int, float],
+        job_ids: Sequence[int],
+        rate: np.ndarray,
+        remaining: np.ndarray,
         start: float,
         end: float,
     ) -> None:
-        """Execute the assignment over ``[start, end]`` and record slices."""
+        """Execute the assignment over ``[start, end]`` and record slices.
+
+        ``job_ids``/``rate``/``remaining`` are the step's rate arrays as
+        returned by :meth:`_rate_arrays` (already used to compute the step
+        horizon, so they are not rebuilt here).
+        """
         duration = end - start
         if duration <= 0:
             return
@@ -223,18 +268,25 @@ class SimulationEngine:
             self._slices.append(
                 WorkSlice(job_id=job_id, machine_id=machine_id, start=start, end=end, work=work)
             )
-        for job_id, rate in rates.items():
-            runtime = state.active[job_id]
-            runtime.remaining = max(0.0, runtime.remaining - rate * duration)
+        if len(job_ids):
+            new_remaining = np.maximum(0.0, remaining - rate * duration)
+            for job_id, value in zip(job_ids, new_remaining):
+                state.active[job_id].remaining = float(value)
 
     def _collect_completions(self) -> None:
         state = self.state
-        finished = [
-            job_id
-            for job_id, runtime in state.active.items()
-            if runtime.remaining <= _COMPLETION_TOL * max(1.0, runtime.job.size)
-        ]
-        for job_id in sorted(finished):
+        if not state.active:
+            return
+        n = len(state.active)
+        ids = np.fromiter(state.active.keys(), dtype=np.int64, count=n)
+        remaining = np.fromiter(
+            (rt.remaining for rt in state.active.values()), dtype=np.float64, count=n
+        )
+        sizes = np.fromiter(
+            (rt.job.size for rt in state.active.values()), dtype=np.float64, count=n
+        )
+        finished = ids[remaining <= _COMPLETION_TOL * np.maximum(1.0, sizes)]
+        for job_id in sorted(int(j) for j in finished):
             runtime = state.active[job_id]
             state.complete(job_id, state.time)
             if self.record_events:
@@ -254,6 +306,14 @@ class SimulationEngine:
 
     def _call(self, fn, *args):
         return fn(*args)
+
+
+def _earliest_completion(rate: np.ndarray, remaining: np.ndarray, now: float) -> float:
+    """Earliest completion date under the step's rates (vectorized; inf when none)."""
+    positive = rate > 0.0
+    if not positive.any():
+        return math.inf
+    return now + float(np.min(remaining[positive] / rate[positive]))
 
 
 def _merge_adjacent(slices: Iterable[WorkSlice]) -> list[WorkSlice]:

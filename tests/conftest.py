@@ -73,16 +73,4 @@ def restricted_instance(restricted_platform) -> Instance:
     return Instance(jobs, restricted_platform)
 
 
-def make_uniform_instance(
-    sizes: list[float],
-    releases: list[float],
-    cycle_times: list[float] = (1.0,),
-    databank: str = "db",
-) -> Instance:
-    """Helper used across test modules to build small uniform instances."""
-    platform = Platform.uniform(list(cycle_times), databanks=[databank])
-    jobs = [
-        Job(i, release=float(r), size=float(s), databank=databank)
-        for i, (s, r) in enumerate(zip(sizes, releases))
-    ]
-    return Instance(jobs, platform)
+from helpers import make_uniform_instance  # noqa: E402,F401  (re-export for older tests)

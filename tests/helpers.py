@@ -1,0 +1,31 @@
+"""Plain (non-fixture) helpers shared across test modules.
+
+Kept outside ``conftest.py`` so that test modules can import them by module
+name: importing from ``conftest`` relies on the rootdir-relative package
+layout and breaks collection when the tests directory is not a package
+(``from .conftest import ...`` fails with "attempted relative import with no
+known parent package").
+"""
+
+from __future__ import annotations
+
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.platform import Platform
+
+__all__ = ["make_uniform_instance"]
+
+
+def make_uniform_instance(
+    sizes: list[float],
+    releases: list[float],
+    cycle_times: list[float] = (1.0,),
+    databank: str = "db",
+) -> Instance:
+    """Build a small uniform instance from per-job sizes and release dates."""
+    platform = Platform.uniform(list(cycle_times), databanks=[databank])
+    jobs = [
+        Job(i, release=float(r), size=float(s), databank=databank)
+        for i, (s, r) in enumerate(zip(sizes, releases))
+    ]
+    return Instance(jobs, platform)

@@ -16,7 +16,7 @@ from repro.schedulers.offline import OfflineScheduler
 from repro.simulation.engine import simulate
 from repro.simulation.state import SchedulerState
 
-from .conftest import make_uniform_instance
+from helpers import make_uniform_instance
 
 
 class TestBender02:

@@ -15,7 +15,7 @@ from repro.schedulers.online_lp import OnlineLPScheduler
 from repro.schedulers.priority import SRPTScheduler, SWRPTScheduler
 from repro.simulation.engine import simulate
 
-from .conftest import make_uniform_instance
+from helpers import make_uniform_instance
 
 
 def random_restricted_instance(seed: int, n_jobs: int = 8) -> Instance:

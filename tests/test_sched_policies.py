@@ -1,0 +1,190 @@
+"""Tests for the replan policies (:mod:`repro.schedulers.policies`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schedulers.online_lp import OnlineLPScheduler
+from repro.schedulers.policies import (
+    BatchedPolicy,
+    OnArrivalPolicy,
+    ReplanDecision,
+    ThresholdPolicy,
+    available_policies,
+    parse_policy,
+)
+from repro.simulation.engine import simulate
+
+from test_sched_offline_online import random_restricted_instance
+
+ONLINE_VARIANTS = ("online", "online-edf", "online-egdf", "online-nonopt")
+
+
+class TestParsePolicy:
+    def test_on_arrival(self):
+        assert isinstance(parse_policy("on-arrival"), OnArrivalPolicy)
+
+    def test_batched(self):
+        policy = parse_policy("batched:2.5")
+        assert isinstance(policy, BatchedPolicy)
+        assert policy.delta == 2.5
+        assert policy.describe() == "batched:2.5"
+
+    def test_threshold_with_and_without_factor(self):
+        assert parse_policy("threshold").degradation == pytest.approx(1.5)
+        assert parse_policy("threshold:2").degradation == pytest.approx(2.0)
+
+    def test_instance_passthrough(self):
+        policy = BatchedPolicy(1.0)
+        assert parse_policy(policy) is policy
+
+    def test_round_trip_through_describe(self):
+        for spec in ("on-arrival", "batched:0.5", "threshold:1.2"):
+            assert parse_policy(spec).describe() == spec
+
+    @pytest.mark.parametrize("spec", ["nope", "batched", "batched:x", "threshold:0.5", "batched:-1"])
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_policy(spec)
+
+    def test_available_policies_listed_in_error(self):
+        with pytest.raises(ValueError, match="on-arrival"):
+            parse_policy("bogus")
+        assert any(p.startswith("batched") for p in available_policies())
+
+
+class TestReplanDecision:
+    def test_deferral_must_be_covered(self):
+        # A decision that neither replans, absorbs, nor schedules a wake-up
+        # would starve the deferred jobs.
+        with pytest.raises(ValueError):
+            ReplanDecision(replan=False)
+
+    def test_valid_forms(self):
+        ReplanDecision(replan=True)
+        ReplanDecision(replan=False, recheck_at=1.0)
+        ReplanDecision(replan=False, absorb=True)
+
+
+class TestBatchedPolicy:
+    @pytest.mark.parametrize("variant", ONLINE_VARIANTS)
+    def test_zero_window_identical_to_on_arrival(self, variant):
+        """batched(D) with D -> 0 degenerates to the paper's on-arrival policy."""
+        instance = random_restricted_instance(3, n_jobs=8)
+        reference = simulate(instance, OnlineLPScheduler(variant=variant))
+        batched = simulate(
+            instance, OnlineLPScheduler(variant=variant, policy="batched:0")
+        )
+        for job_id, completion in reference.completions.items():
+            assert batched.completions[job_id] == pytest.approx(completion, abs=1e-9)
+        assert batched.max_stretch == pytest.approx(reference.max_stretch, rel=1e-9)
+        assert batched.sum_stretch == pytest.approx(reference.sum_stretch, rel=1e-9)
+
+    @pytest.mark.parametrize("variant", ONLINE_VARIANTS)
+    def test_positive_window_valid_schedule(self, variant):
+        instance = random_restricted_instance(4, n_jobs=8)
+        scheduler = OnlineLPScheduler(variant=variant, policy="batched:1.5")
+        result = simulate(instance, scheduler)
+        result.schedule.validate(instance)
+        assert set(result.completions) == set(instance.jobs.ids())
+        assert np.isfinite(result.max_stretch)
+
+    def test_positive_window_reduces_resolutions(self):
+        instance = random_restricted_instance(5, n_jobs=9)
+        on_arrival = OnlineLPScheduler(variant="online")
+        simulate(instance, on_arrival)
+        batched = OnlineLPScheduler(variant="online", policy="batched:3.0")
+        simulate(instance, batched)
+        assert batched.n_resolutions < on_arrival.n_resolutions
+        assert batched.n_resolutions >= 1
+
+    def test_non_default_policy_visible_in_name(self):
+        scheduler = OnlineLPScheduler(variant="online", policy="batched:2")
+        assert "batched:2" in scheduler.name
+        assert OnlineLPScheduler(variant="online").name == "Online"
+
+    def test_policy_state_reset_between_runs(self):
+        instance = random_restricted_instance(6, n_jobs=6)
+        scheduler = OnlineLPScheduler(variant="online", policy="batched:1.0")
+        first = simulate(instance, scheduler)
+        second = simulate(instance, scheduler)
+        for job_id, completion in first.completions.items():
+            assert second.completions[job_id] == pytest.approx(completion, abs=1e-9)
+
+
+class TestThresholdPolicy:
+    @pytest.mark.parametrize("variant", ONLINE_VARIANTS)
+    def test_valid_schedule(self, variant):
+        instance = random_restricted_instance(7, n_jobs=9)
+        scheduler = OnlineLPScheduler(variant=variant, policy="threshold:1.5")
+        result = simulate(instance, scheduler)
+        result.schedule.validate(instance)
+        assert set(result.completions) == set(instance.jobs.ids())
+        assert np.isfinite(result.max_stretch)
+
+    def test_loose_threshold_skips_resolutions(self):
+        instance = random_restricted_instance(8, n_jobs=10)
+        on_arrival = OnlineLPScheduler(variant="online")
+        simulate(instance, on_arrival)
+        lazy = OnlineLPScheduler(variant="online", policy="threshold:1000")
+        simulate(instance, lazy)
+        assert lazy.n_resolutions < on_arrival.n_resolutions
+        assert lazy.n_resolutions >= 1  # the first arrival always replans
+
+    def test_tight_threshold_matches_on_arrival_cadence(self):
+        # degradation factor 1 means any estimated excess triggers a replan;
+        # the schedule must still be valid and close to the reference.
+        instance = random_restricted_instance(9, n_jobs=7)
+        scheduler = OnlineLPScheduler(variant="online", policy="threshold:1")
+        result = simulate(instance, scheduler)
+        result.schedule.validate(instance)
+        assert set(result.completions) == set(instance.jobs.ids())
+
+    def test_rejects_degradation_below_one(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.9)
+
+
+class TestAbsorbArrivals:
+    def test_absorbed_job_appended_after_plan_gaps(self):
+        """Regression: absorbing into a short idle gap must not overlap.
+
+        LP plans routinely leave idle gaps between milestone intervals; a
+        job longer than the first gap has to go to the *tail* of the plan,
+        otherwise its segment overlaps the next planned one and the shadowed
+        job silently loses service.
+        """
+        from repro.core.instance import Instance
+        from repro.core.job import Job
+        from repro.core.platform import Platform
+        from repro.schedulers.base import PlanSegment
+        from repro.simulation.state import SchedulerState
+
+        platform = Platform.uniform([1.0], databanks=["db"])
+        jobs = [
+            Job(0, release=0.0, size=15.0, databank="db"),
+            Job(1, release=2.0, size=8.0, databank="db"),
+        ]
+        instance = Instance(jobs, platform)
+        scheduler = OnlineLPScheduler(variant="online", policy="threshold:1.5")
+        scheduler.reset(instance)
+        # A plan with an internal idle gap [5, 10] shorter than the new job.
+        scheduler.set_plan(
+            [
+                PlanSegment(machine_id=0, job_id=0, start=0.0, end=5.0),
+                PlanSegment(machine_id=0, job_id=0, start=10.0, end=20.0),
+            ]
+        )
+        assert scheduler.plan_horizon(0, 2.0) == pytest.approx(5.0)
+        assert scheduler.plan_tail(0, 2.0) == pytest.approx(20.0)
+
+        state = SchedulerState(instance)
+        state.time = 2.0
+        state.release(jobs[1])
+        scheduler.absorb_arrivals(state, [jobs[1]])
+        segments = sorted(scheduler.plan_segments(0), key=lambda s: s.start)
+        for earlier, later in zip(segments, segments[1:]):
+            assert earlier.end <= later.start + 1e-12
+        absorbed = [s for s in segments if s.job_id == 1]
+        assert absorbed and absorbed[0].start == pytest.approx(20.0)

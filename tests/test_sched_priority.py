@@ -18,7 +18,7 @@ from repro.schedulers.priority import (
 )
 from repro.simulation.engine import simulate
 
-from .conftest import make_uniform_instance
+from helpers import make_uniform_instance
 
 
 def random_uniprocessor_instance(seed: int, n_jobs: int = 8) -> Instance:

@@ -1,0 +1,80 @@
+"""Unit tests for the event-queue kernel (:mod:`repro.simulation.clock`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.job import Job
+from repro.simulation.clock import (
+    EventQueue,
+    EventType,
+    QueuedEvent,
+    SimulationClock,
+)
+
+
+def _job(job_id: int, release: float) -> Job:
+    return Job(job_id, release=release, size=1.0, databank="db")
+
+
+class TestEventQueue:
+    def test_empty_queue(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        assert math.isinf(queue.next_time())
+        assert queue.pop_due(100.0) == []
+
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            queue.push(QueuedEvent(time=t, type=EventType.WAKEUP))
+        assert queue.next_time() == 1.0
+        popped = [e.time for e in queue.pop_due(math.inf)]
+        assert popped == [1.0, 2.0, 3.0]
+
+    def test_pop_due_only_returns_due_events(self):
+        queue = EventQueue()
+        queue.push_arrival(_job(0, 1.0))
+        queue.push_arrival(_job(1, 5.0))
+        due = queue.pop_due(1.0)
+        assert [e.job.job_id for e in due] == [0]
+        assert queue.next_time() == 5.0
+
+    def test_simultaneous_arrivals_form_one_batch(self):
+        queue = EventQueue()
+        queue.push_arrival(_job(0, 2.0))
+        queue.push_arrival(_job(1, 2.0))
+        queue.push_arrival(_job(2, 2.0 + 1e-13))  # within tolerance
+        due = queue.pop_due(2.0)
+        assert [e.job.job_id for e in due] == [0, 1, 2]
+
+    def test_insertion_order_preserved_for_equal_times(self):
+        queue = EventQueue()
+        for job_id in (4, 2, 7):
+            queue.push_arrival(_job(job_id, 1.0))
+        assert [e.job.job_id for e in queue.pop_due(1.0)] == [4, 2, 7]
+
+    def test_arrivals_sort_before_wakeups(self):
+        queue = EventQueue()
+        queue.push(QueuedEvent(time=1.0, type=EventType.WAKEUP))
+        queue.push_arrival(_job(0, 1.0))
+        due = queue.pop_due(1.0)
+        assert [e.type for e in due] == [EventType.ARRIVAL, EventType.WAKEUP]
+
+
+class TestSimulationClock:
+    def test_advances_forward(self):
+        clock = SimulationClock(1.0)
+        assert clock.advance_to(3.0) == 3.0
+        assert clock.now == 3.0
+
+    def test_rejects_backwards_jump(self):
+        clock = SimulationClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.0)
+
+    def test_tolerates_jitter(self):
+        clock = SimulationClock(5.0)
+        assert clock.advance_to(5.0 - 1e-13) == 5.0

@@ -141,7 +141,7 @@ class TestEngineRobustness:
             def assign(self, state):
                 return Assignment.idle()
 
-        with pytest.raises(ScheduleError):
+        with pytest.raises(ScheduleError, match="unscheduled with no future event"):
             simulate(instance, LazyScheduler())
 
     def test_livelock_detection(self, instance):
@@ -153,8 +153,31 @@ class TestEngineRobustness:
             def assign(self, state):
                 return Assignment(mapping={}, valid_until=state.time)
 
-        with pytest.raises(ScheduleError):
+        with pytest.raises(ScheduleError, match="zero-length steps"):
             simulate(instance, StallingScheduler())
+
+    def test_max_steps_overflow_detection(self, instance):
+        class CreepingScheduler(Scheduler):
+            """Advances by genuinely positive but absurdly small steps.
+
+            Each step moves time forward, so the zero-length-stall counter
+            never fires; only the ``max_steps`` bound catches the live-lock.
+            """
+
+            name = "creeper"
+
+            def assign(self, state):
+                return Assignment(mapping={0: 0}, valid_until=state.time + 1e-9)
+
+        engine = SimulationEngine(instance, CreepingScheduler(), max_steps=50)
+        with pytest.raises(ScheduleError, match="exceeded 50 steps"):
+            engine.run()
+
+    def test_default_max_steps_scales_with_instance(self, instance):
+        engine = SimulationEngine(instance, FCFSScheduler())
+        assert engine.max_steps is None  # derived inside run()
+        result = engine.run()
+        assert set(result.completions) == {0, 1, 2}
 
     def test_valid_until_horizon_respected(self):
         platform = Platform.uniform([1.0], databanks=["db"])
@@ -180,3 +203,38 @@ class TestEngineRobustness:
         # Job 0 is processed continuously on each machine: one merged slice per machine.
         slices = result.schedule.slices_for_job(0)
         assert len(slices) == 2
+
+
+class TestArrivalBatching:
+    def test_simultaneous_arrivals_one_callback(self):
+        platform = Platform.uniform([1.0, 1.0], databanks=["db"])
+        jobs = [
+            Job(0, release=1.0, size=2.0, databank="db"),
+            Job(1, release=1.0, size=2.0, databank="db"),
+            Job(2, release=4.0, size=1.0, databank="db"),
+        ]
+        instance = Instance(jobs, platform)
+
+        batches: list[list[int]] = []
+
+        class RecordingScheduler(SRPTScheduler):
+            def on_arrivals(self, state, arrived):
+                batches.append([job.job_id for job in arrived])
+                super().on_arrivals(state, arrived)
+
+        result = simulate(instance, RecordingScheduler())
+        assert batches == [[0, 1], [2]]
+        assert set(result.completions) == {0, 1, 2}
+
+    def test_batched_release_matches_sequential_release_semantics(self):
+        # Two simultaneous jobs on one machine under SRPT: the smaller runs
+        # first regardless of how the releases were delivered.
+        platform = Platform.uniform([1.0], databanks=["db"])
+        jobs = [
+            Job(0, release=0.0, size=3.0, databank="db"),
+            Job(1, release=0.0, size=1.0, databank="db"),
+        ]
+        instance = Instance(jobs, platform)
+        result = simulate(instance, SRPTScheduler())
+        assert result.completions[1] == pytest.approx(1.0)
+        assert result.completions[0] == pytest.approx(4.0)
