@@ -7,6 +7,7 @@ suite are collected in the same pytest session.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -64,4 +65,17 @@ def write_artifact(name: str, content: str) -> Path:
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     path = ARTIFACT_DIR / name
     path.write_text(content + "\n")
+    return path
+
+
+def write_json_artifact(name: str, payload: object) -> Path:
+    """Persist a machine-readable baseline (e.g. ``BENCH_lp.json``).
+
+    JSON artifacts are uploaded by CI so the perf trajectory (per-size LP
+    probe counts, solve times, backend speedups) can be compared across PRs
+    instead of living only in free-text benchmark logs.
+    """
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path

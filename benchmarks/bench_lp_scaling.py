@@ -13,10 +13,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.lp.backends import highs_available, highs_source, make_backend, record_lp_probes
 from repro.lp.maxstretch import minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
 from repro.lp.relaxation import reoptimize_allocation
 from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+from _bench_utils import write_json_artifact
 
 
 def _instance(n_clusters: int, n_jobs: int, seed: int = 11):
@@ -88,6 +91,114 @@ def bench_system1_warm_start(benchmark):
     )
     assert warm.objective == cold.objective
     assert warm.allocations == cold.allocations
+
+
+#: Timing rounds per (size, backend); the best round is recorded, which
+#: symmetrically discards transient noise (GC, CPU migration) on shared CI
+#: runners without biasing the scipy/HiGHS ratio.
+_TIMING_ROUNDS = 3
+
+
+def _resolution_with_backend(problem, backend_name: str):
+    """Best-of-N full resolutions (System (1) search + System (2))."""
+    best = fastest = None
+    for _ in range(_TIMING_ROUNDS):
+        backend = make_backend(backend_name)
+        try:
+            with record_lp_probes() as stats:
+                best = minimize_max_weighted_flow(problem, backend=backend)
+                reoptimize_allocation(problem, best.objective, backend=backend)
+        finally:
+            backend.close()
+        if fastest is None or stats.solve_seconds < fastest.solve_seconds:
+            fastest = stats
+    return best, fastest
+
+
+def bench_solver_backend_comparison(benchmark):
+    """Per-probe LP solve time: one-shot scipy vs persistent HiGHS backend.
+
+    Runs the complete milestone search plus the System (2) re-optimization
+    at increasing job counts with both backends, records the per-size probe
+    counts and solve times to ``BENCH_lp.json`` (uploaded by CI so the perf
+    trajectory is tracked across PRs), and enforces the acceptance target:
+    at the largest size (>= 60 jobs in the LP) the persistent backend --
+    which warm-starts dual simplex from the previous probe's transplanted
+    basis instead of re-factorizing from scratch -- must at least halve the
+    per-probe solve time while reproducing the scipy objective exactly
+    within tolerance.  Each (size, backend) cell is timed best-of-N
+    (symmetric for both backends) so a transient stall on a noisy CI runner
+    cannot flake the ratio; ~2.4x is the locally observed margin.
+    """
+    # Density/window chosen so the largest instance saturates its 60-job cap
+    # (the regime where the ROADMAP identifies the LP solve as the floor).
+    sizes = (15, 30, 60)
+    problems = {}
+    for n_jobs in sizes:
+        platform_spec = PlatformSpec(
+            n_clusters=3, processors_per_cluster=10, n_databanks=3, availability=0.6,
+        )
+        workload_spec = WorkloadSpec(density=3.0, window=45.0, max_jobs=n_jobs)
+        instance = generate_instance(platform_spec, workload_spec, rng=11)
+        problems[n_jobs] = problem_from_instance(instance)
+
+    backends = ["scipy"] + (["highs"] if highs_available() else [])
+
+    def run():
+        rows = []
+        for n_jobs in sizes:
+            problem = problems[n_jobs]
+            for backend_name in backends:
+                best, stats = _resolution_with_backend(problem, backend_name)
+                rows.append(
+                    {
+                        "n_jobs": len(problem.jobs),
+                        "backend": backend_name,
+                        "probes": stats.n_probes,
+                        "solve_ms": round(stats.solve_seconds * 1e3, 3),
+                        "per_probe_ms": round(stats.per_probe_seconds * 1e3, 4),
+                        "objective": best.objective,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    largest = max(r["n_jobs"] for r in rows)
+    speedup = None
+    if highs_available():
+        per_probe = {
+            r["backend"]: r["per_probe_ms"] for r in rows if r["n_jobs"] == largest
+        }
+        speedup = per_probe["scipy"] / per_probe["highs"]
+    write_json_artifact(
+        "BENCH_lp.json",
+        {
+            "benchmark": "bench_solver_backend_comparison",
+            "highs_available": highs_available(),
+            "highs_source": highs_source(),
+            "timing_rounds": _TIMING_ROUNDS,
+            "per_size": rows,
+            "largest_n_jobs": largest,
+            "per_probe_speedup_at_largest": speedup,
+        },
+    )
+
+    # Both backends walk the same monotone feasibility lattice, so the probe
+    # counts and objectives must agree regardless of solver internals.
+    for n_jobs in sizes:
+        by_backend = {r["backend"]: r for r in rows if r["n_jobs"] == len(problems[n_jobs].jobs)}
+        if "highs" in by_backend:
+            assert by_backend["highs"]["objective"] == pytest.approx(
+                by_backend["scipy"]["objective"], rel=1e-9
+            )
+    if not highs_available():
+        pytest.skip("highspy (and scipy-vendored HiGHS) unavailable; scipy baseline recorded")
+    assert largest >= 60, f"largest LP only has {largest} jobs"
+    assert speedup >= 2.0, (
+        f"persistent HiGHS backend only {speedup:.2f}x faster per probe at "
+        f"{largest} jobs (target: >= 2x)"
+    )
 
 
 def bench_milestone_enumeration(benchmark):

@@ -31,7 +31,11 @@ the *incremental replanning pipeline* spanning the starred modules::
     |   |-- relaxation * System (2): sum-stretch-like re-optimization
     |   |-- incremental* ReplanContext: caches + S* warm start across replans
     |   |-- aggregation  LP allocations -> per-machine work slices
-    |   `-- solver       sparse wrapper around scipy.optimize.linprog
+    |   |-- solver     * sparse COO program builder over pluggable backends
+    |   `-- backends/  * LP solver backends + probe timing hooks
+    |       |-- scipy_backend  one-shot scipy.optimize.linprog (default)
+    |       `-- highs  *       persistent HiGHS models: delta updates + basis
+    |                          warm starts across milestone probes and replans
     |-- simulation/    the fluid discrete-event engine
     |   |-- clock      * heap-based event queue, batched simultaneous arrivals
     |   |-- engine     * the step loop: dispatch, assign, advance, complete

@@ -29,6 +29,7 @@ from typing import Sequence
 
 from repro.experiments.config import (
     ONLINE_LP_SCHEDULERS,
+    ExperimentConfig,
     figure3_configurations,
     paper_configurations,
 )
@@ -43,8 +44,14 @@ from repro.experiments.tables import (
     tables_by_density,
     tables_by_sites,
 )
+from repro.lp.backends import BACKEND_CHOICES, available_backends
 from repro.schedulers.policies import parse_policy
-from repro.schedulers.registry import available_schedulers, make_scheduler, paper_schedulers
+from repro.schedulers.registry import (
+    LP_SOLVER_SCHEDULERS,
+    available_schedulers,
+    make_scheduler,
+    paper_schedulers,
+)
 from repro.simulation.engine import simulate
 from repro.theory.bounds import swrpt_competitive_gap
 from repro.theory.starvation import starvation_analysis
@@ -157,12 +164,51 @@ def _add_replanning_arguments(sub: argparse.ArgumentParser) -> None:
         help="disable the incremental ReplanContext (rebuild every LP from "
         "scratch at each release date, as the paper's heuristics do)",
     )
+    sub.add_argument(
+        "--solver-backend",
+        choices=BACKEND_CHOICES,
+        default="scipy",
+        help="LP solver backend for the LP-based schedulers: 'scipy' "
+        "(one-shot linprog, default), 'highs' (persistent models with "
+        "basis warm starts across milestone probes and replans; needs "
+        "highspy or scipy >= 1.15), or 'auto' (highs when available)",
+    )
 
 
 def _online_options(args: argparse.Namespace) -> dict[str, dict[str, object]]:
-    """Per-scheduler-key options implied by the replanning CLI flags."""
-    options = {"policy": args.replan_policy, "incremental": not args.from_scratch}
-    return {key: dict(options) for key in ONLINE_LP_SCHEDULERS}
+    """Per-scheduler-key options implied by the replanning CLI flags.
+
+    Delegates to :meth:`ExperimentConfig.scheduler_options_for` so the CLI
+    and campaign layers cannot disagree about which schedulers take which
+    knobs.
+    """
+    config = ExperimentConfig(
+        name="cli",
+        n_clusters=1,
+        n_databanks=1,
+        availability=1.0,
+        density=1.0,
+        replan_policy=args.replan_policy,
+        incremental_lp=not args.from_scratch,
+        solver_backend=args.solver_backend,
+    )
+    return {
+        key: options
+        for key in LP_SOLVER_SCHEDULERS
+        if (options := config.scheduler_options_for(key))
+    }
+
+
+def _check_backend(args: argparse.Namespace) -> str | None:
+    """An error message when the requested solver backend is unusable."""
+    backend = getattr(args, "solver_backend", "scipy")
+    if backend == "highs" and "highs" not in available_backends():
+        return (
+            "error: --solver-backend highs requires HiGHS bindings "
+            "(pip install highspy, or scipy >= 1.15); "
+            "use --solver-backend auto to fall back to scipy"
+        )
+    return None
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -218,6 +264,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         max_jobs=args.max_jobs,
         replan_policy=args.replan_policy,
         incremental_lp=not args.from_scratch,
+        solver_backend=args.solver_backend,
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
     print(
@@ -309,6 +356,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
             scheduler_options={"bender98": {"max_jobs_per_resolution": 25}},
             replan_policy=args.replan_policy,
             incremental_lp=incremental,
+            solver_backend=args.solver_backend,
             **kwargs,
         )
         for record in records:
@@ -354,6 +402,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``repro-stretch`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    backend_error = _check_backend(args)
+    if backend_error is not None:
+        print(backend_error, file=sys.stderr)
+        return 2
     handlers = {
         "simulate": _cmd_simulate,
         "campaign": _cmd_campaign,

@@ -22,8 +22,9 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.core.errors import ModelError
+from repro.lp.backends import BACKEND_CHOICES
 from repro.schedulers.policies import parse_policy
-from repro.schedulers.registry import ONLINE_LP_SCHEDULERS
+from repro.schedulers.registry import LP_SOLVER_SCHEDULERS, ONLINE_LP_SCHEDULERS
 from repro.workload.generator import PlatformSpec, WorkloadSpec
 from repro.workload.gripps import DEFAULT_PROCESSORS_PER_CLUSTER, SUBMISSION_WINDOW_SECONDS
 
@@ -53,10 +54,11 @@ class ExperimentConfig:
     The six features of Section 5.1, plus the submission window and an
     optional cap on the number of jobs per instance (both used to scale the
     campaign to the available compute budget without changing its design),
-    plus two knobs of the replanning pipeline: the replan policy driving the
-    on-line LP heuristics (a new scenario axis the paper only discusses
-    qualitatively) and the incremental/from-scratch LP toggle (used by the
-    overhead comparisons).
+    plus three knobs of the replanning pipeline: the replan policy driving
+    the on-line LP heuristics (a new scenario axis the paper only discusses
+    qualitatively), the incremental/from-scratch LP toggle (used by the
+    overhead comparisons) and the LP solver backend (one-shot scipy vs the
+    persistent HiGHS backend with basis warm starts).
     """
 
     name: str
@@ -69,6 +71,7 @@ class ExperimentConfig:
     max_jobs: int | None = None
     replan_policy: str = "on-arrival"
     incremental_lp: bool = True
+    solver_backend: str = "scipy"
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -81,6 +84,11 @@ class ExperimentConfig:
             parse_policy(self.replan_policy)
         except ValueError as exc:
             raise ModelError(str(exc)) from None
+        if self.solver_backend not in BACKEND_CHOICES:
+            raise ModelError(
+                f"unknown solver backend {self.solver_backend!r}; "
+                f"choose from {', '.join(BACKEND_CHOICES)}"
+            )
 
     # -- conversions -------------------------------------------------------------
     def platform_spec(self) -> PlatformSpec:
@@ -106,11 +114,17 @@ class ExperimentConfig:
         """Constructor options this configuration implies for scheduler ``key``.
 
         The replan policy and the incremental toggle only exist on the
-        on-line LP heuristics; every other scheduler gets no options.
+        on-line LP heuristics; the solver backend applies to every LP
+        consumer (``LP_SOLVER_SCHEDULERS``); every other scheduler gets no
+        options.
         """
+        options: dict[str, object] = {}
+        if key in LP_SOLVER_SCHEDULERS:
+            options["solver_backend"] = self.solver_backend
         if key in ONLINE_LP_SCHEDULERS:
-            return {"policy": self.replan_policy, "incremental": self.incremental_lp}
-        return {}
+            options["policy"] = self.replan_policy
+            options["incremental"] = self.incremental_lp
+        return options
 
     def as_dict(self) -> dict[str, float | int | str | bool | None]:
         return {
@@ -124,6 +138,7 @@ class ExperimentConfig:
             "max_jobs": self.max_jobs,
             "replan_policy": self.replan_policy,
             "incremental_lp": self.incremental_lp,
+            "solver_backend": self.solver_backend,
         }
 
 
@@ -138,6 +153,7 @@ def paper_configurations(
     processors_per_cluster: int = DEFAULT_PROCESSORS_PER_CLUSTER,
     replan_policy: str = "on-arrival",
     incremental_lp: bool = True,
+    solver_backend: str = "scipy",
 ) -> list[ExperimentConfig]:
     """The full factorial design of Section 5.3 (162 configurations by default)."""
     configs: list[ExperimentConfig] = []
@@ -162,6 +178,7 @@ def paper_configurations(
                             max_jobs=max_jobs,
                             replan_policy=replan_policy,
                             incremental_lp=incremental_lp,
+                            solver_backend=solver_backend,
                         )
                     )
     return configs

@@ -72,15 +72,17 @@ def scheduling_overhead(
     base_seed: int = 53,
     replan_policy: str = "on-arrival",
     incremental_lp: bool = True,
+    solver_backend: str = "scipy",
 ) -> list[OverheadRecord]:
     """Measure the scheduler-side wall-clock cost of each strategy.
 
     Defaults mirror the paper's setup (3-cluster platforms) with a reduced
     submission window so that Bender98 remains tractable; the window and job
-    cap are configurable for larger runs.  ``replan_policy`` and
-    ``incremental_lp`` select the replanning pipeline of the on-line LP
-    heuristics, so the overhead tables can compare cadences and the
-    incremental vs from-scratch LP paths.
+    cap are configurable for larger runs.  ``replan_policy``,
+    ``incremental_lp`` and ``solver_backend`` select the replanning pipeline
+    of the on-line LP heuristics, so the overhead tables can compare
+    cadences, the incremental vs from-scratch LP paths, and the scipy vs
+    persistent-HiGHS solver backends.
     """
     config = ExperimentConfig(
         name="overhead",
@@ -92,6 +94,7 @@ def scheduling_overhead(
         max_jobs=max_jobs,
         replan_policy=replan_policy,
         incremental_lp=incremental_lp,
+        solver_backend=solver_backend,
     )
     times: dict[str, list[float]] = {key: [] for key in scheduler_keys}
     decisions: dict[str, list[int]] = {key: [] for key in scheduler_keys}

@@ -22,7 +22,13 @@ on-line heuristics:
 * :mod:`repro.lp.aggregation` -- materialization of interval/resource work
   allocations into concrete per-machine :class:`~repro.core.schedule.WorkSlice`
   lists.
-* :mod:`repro.lp.solver` -- a thin wrapper around :func:`scipy.optimize.linprog`.
+* :mod:`repro.lp.solver` -- the sparse COO program builder, delegating solves
+  to a pluggable backend.
+* :mod:`repro.lp.backends` -- the solver backends: one-shot
+  :func:`scipy.optimize.linprog` (default) and the persistent HiGHS backend
+  that keeps factorized models alive across milestone probes and replans
+  (delta updates + dual-simplex basis warm starts), plus the LP probe timing
+  hooks used by the overhead benchmarks.
 """
 
 from repro.lp.problem import (
@@ -41,6 +47,16 @@ from repro.lp.maxstretch import (
 from repro.lp.relaxation import reoptimize_allocation
 from repro.lp.incremental import ReplanContext
 from repro.lp.aggregation import materialize_solution
+from repro.lp.backends import (
+    BACKEND_CHOICES,
+    HighsPersistentBackend,
+    ScipyBackend,
+    SolverBackend,
+    available_backends,
+    highs_available,
+    make_backend,
+    record_lp_probes,
+)
 from repro.lp.solver import LinearProgramBuilder, LPResult
 
 __all__ = [
@@ -58,4 +74,12 @@ __all__ = [
     "materialize_solution",
     "LinearProgramBuilder",
     "LPResult",
+    "SolverBackend",
+    "ScipyBackend",
+    "HighsPersistentBackend",
+    "BACKEND_CHOICES",
+    "available_backends",
+    "highs_available",
+    "make_backend",
+    "record_lp_probes",
 ]

@@ -1,0 +1,93 @@
+"""Pluggable LP solver backends behind :class:`~repro.lp.solver.LinearProgramBuilder`.
+
+* :class:`ScipyBackend` -- the historical one-shot
+  :func:`scipy.optimize.linprog` path (default; always available).
+* :class:`HighsPersistentBackend` -- keeps HiGHS models alive across
+  milestone probes and replans, applies delta updates (changed RHS, bounds
+  and costs only) and warm-starts dual simplex from the retained basis.
+  Backed by ``highspy`` when installed, falling back to the bindings vendored
+  by scipy >= 1.15.
+
+Backends are selected by name through :func:`make_backend` (``"scipy"``,
+``"highs"``, ``"auto"``) -- the same names exposed by the
+``--solver-backend`` CLI flag and :attr:`ExperimentConfig.solver_backend`.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SolverError
+from repro.lp.backends.base import (
+    LPProbeStats,
+    LPResult,
+    LPSpec,
+    SolverBackend,
+    WarmStartHint,
+    record_lp_probes,
+)
+from repro.lp.backends.highs import (
+    HighsPersistentBackend,
+    highs_available,
+    highs_source,
+)
+from repro.lp.backends.scipy_backend import ScipyBackend
+
+__all__ = [
+    "LPResult",
+    "LPSpec",
+    "SolverBackend",
+    "WarmStartHint",
+    "LPProbeStats",
+    "record_lp_probes",
+    "ScipyBackend",
+    "HighsPersistentBackend",
+    "highs_available",
+    "highs_source",
+    "BACKEND_CHOICES",
+    "available_backends",
+    "make_backend",
+    "default_backend",
+]
+
+#: Names accepted by :func:`make_backend` and the ``--solver-backend`` flag.
+BACKEND_CHOICES: tuple[str, ...] = ("scipy", "highs", "auto")
+
+#: Shared stateless scipy backend (safe across contexts and threads-of-use;
+#: persistent backends are instantiated per replan context instead).
+_SCIPY_SINGLETON = ScipyBackend()
+
+
+def default_backend() -> SolverBackend:
+    """The process-wide default backend (one-shot scipy)."""
+    return _SCIPY_SINGLETON
+
+
+def available_backends() -> tuple[str, ...]:
+    """Backend names usable in this environment."""
+    return ("scipy", "highs") if highs_available() else ("scipy",)
+
+
+def make_backend(spec: "str | SolverBackend | None" = None) -> SolverBackend:
+    """Resolve a backend from a name, an instance, or ``None``.
+
+    * ``None`` / ``"scipy"`` -- the shared one-shot scipy backend;
+    * ``"highs"`` -- a *fresh* :class:`HighsPersistentBackend` (each caller
+      owns its live models; raises :class:`SolverError` when no HiGHS
+      bindings are available);
+    * ``"auto"`` -- a fresh persistent HiGHS backend when available, the
+      scipy backend otherwise;
+    * a :class:`SolverBackend` instance -- returned unchanged.
+    """
+    if spec is None:
+        return _SCIPY_SINGLETON
+    if isinstance(spec, SolverBackend):
+        return spec
+    name = str(spec).lower()
+    if name == "scipy":
+        return _SCIPY_SINGLETON
+    if name == "highs":
+        return HighsPersistentBackend()
+    if name == "auto":
+        return HighsPersistentBackend() if highs_available() else _SCIPY_SINGLETON
+    raise SolverError(
+        f"unknown solver backend {spec!r}; choose from {', '.join(BACKEND_CHOICES)}"
+    )

@@ -1,0 +1,243 @@
+"""Solver-backend abstraction for the System (1)/(2) linear programs.
+
+A :class:`SolverBackend` turns the arrays accumulated by a
+:class:`~repro.lp.solver.LinearProgramBuilder` into an :class:`LPResult`.
+Two implementations exist:
+
+* :class:`~repro.lp.backends.scipy_backend.ScipyBackend` -- the historical
+  one-shot :func:`scipy.optimize.linprog` path (default);
+* :class:`~repro.lp.backends.highs.HighsPersistentBackend` -- keeps HiGHS
+  models alive across solves and applies delta updates (changed RHS, bounds
+  and objective coefficients only) between milestone probes, warm-starting
+  dual simplex from the previous basis.
+
+Persistent backends identify reusable structure through the ``key`` argument
+of :meth:`SolverBackend.solve`: two solves submitted under the same key are
+guaranteed by the caller to share the exact same constraint-matrix sparsity
+pattern *and values* (only costs, variable bounds and row bounds may differ).
+The keys are derived from the constraint-skeleton signatures of
+:mod:`repro.lp.maxstretch`, with the boundary constants stripped, so that the
+System (1) LPs of successive replans on the same milestone pattern -- and the
+System (2) re-optimizations that follow them -- hit the same factorized model.
+
+This module also hosts the *probe timing hooks* used by the overhead
+benchmarks: :func:`record_lp_probes` measures how much of the scheduler
+wall-clock is spent inside the LP solver proper, regardless of backend.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.errors import SolverError
+
+__all__ = [
+    "LPResult",
+    "LPSpec",
+    "WarmStartHint",
+    "SolverBackend",
+    "LPProbeStats",
+    "record_lp_probes",
+]
+
+
+@dataclass
+class LPResult:
+    """Outcome of a linear program solve."""
+
+    status: int
+    feasible: bool
+    objective: float
+    values: np.ndarray
+    message: str = ""
+
+    def value(self, index: int) -> float:
+        """Value of variable ``index`` in the optimal solution."""
+        return float(self.values[index])
+
+
+@dataclass(frozen=True)
+class LPSpec:
+    """The arrays of one ``min c.x  s.t.  A_ub x <= b_ub, A_eq x = b_eq, lb <= x <= ub``.
+
+    A read-only view over the lists accumulated by
+    :class:`~repro.lp.solver.LinearProgramBuilder` (no copies are made); the
+    inequality/equality matrices are in COO triplet form.
+    """
+
+    n_vars: int
+    objective: Sequence[float]
+    lower: Sequence[float]
+    upper: Sequence[float]
+    ub_rows: Sequence[int]
+    ub_cols: Sequence[int]
+    ub_vals: Sequence[float]
+    ub_rhs: Sequence[float]
+    eq_rows: Sequence[int]
+    eq_cols: Sequence[int]
+    eq_vals: Sequence[float]
+    eq_rhs: Sequence[float]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.ub_rhs) + len(self.eq_rhs)
+
+    @property
+    def nnz(self) -> int:
+        return len(self.ub_vals) + len(self.eq_vals)
+
+
+@dataclass(frozen=True)
+class WarmStartHint:
+    """Stable identities letting a persistent backend transplant bases.
+
+    Consecutive milestone probes (and the System (2) re-optimization after
+    the winning probe) are built on *different* constraint matrices, so a
+    live model cannot always be delta-updated.  Their variables and rows do,
+    however, carry stable identities -- ``(interval, resource, job)`` for the
+    work variables, ``(interval, resource)``/``job`` for the rows -- and the
+    optimal (or infeasibility-proving) basis of one probe is an excellent
+    starting basis for the next once mapped through those identities.
+
+    Attributes
+    ----------
+    series:
+        Solves sharing a series feed each other's bases (one series per
+        replan context is the natural granularity).
+    col_ids / row_ids:
+        One integer identity per variable / constraint row (inequality rows
+        first, then equality rows, matching the builder's row order), as
+        int64 numpy arrays -- integers so the basis mapping stays fully
+        vectorized.  Identities present in the previous basis inherit its
+        statuses; new ones start non-basic (columns) / basic-slack (rows).
+    """
+
+    series: Hashable
+    col_ids: "np.ndarray"
+    row_ids: "np.ndarray"
+
+
+class SolverBackend(ABC):
+    """Strategy object solving the LPs built by ``LinearProgramBuilder``.
+
+    Subclasses implement :meth:`_solve`; the public :meth:`solve` wraps it
+    with the probe timing hooks so that every backend feeds the same
+    LP-fraction accounting (see :func:`record_lp_probes`).
+    """
+
+    #: Registry/display name of the backend ("scipy", "highs", ...).
+    name: str = "abstract"
+    #: Whether the backend exploits the ``key``/``warm`` arguments to reuse
+    #: models and bases across solves.  Callers skip building keys and warm
+    #: hints for non-persistent backends.
+    persistent: bool = False
+
+    def solve(
+        self,
+        spec: LPSpec,
+        *,
+        method: str = "auto",
+        key: Hashable | None = None,
+        warm: WarmStartHint | None = None,
+    ) -> LPResult:
+        """Solve ``spec``; see :meth:`~repro.lp.solver.LinearProgramBuilder.solve`.
+
+        ``key``, when not ``None``, asserts that any other solve submitted
+        under the same key shares the constraint matrix exactly (pattern and
+        values); persistent backends use it to apply delta updates to a live
+        model instead of rebuilding it.  ``warm`` optionally carries the
+        stable identities used to transplant the previous basis of the same
+        series onto a freshly built model.
+        """
+        start = time.perf_counter()
+        try:
+            return self._solve(spec, method=method, key=key, warm=warm)
+        finally:
+            _note_probe(self.name, time.perf_counter() - start)
+
+    @abstractmethod
+    def _solve(
+        self,
+        spec: LPSpec,
+        *,
+        method: str = "auto",
+        key: Hashable | None = None,
+        warm: WarmStartHint | None = None,
+    ) -> LPResult:
+        """Backend-specific solve (timed and accounted by :meth:`solve`)."""
+
+    def close(self) -> None:
+        """Release any persistent solver state (no-op by default)."""
+
+    @staticmethod
+    def infeasible_result(spec: LPSpec, message: str = "") -> LPResult:
+        """The canonical infeasible :class:`LPResult` for ``spec``."""
+        return LPResult(
+            status=2,
+            feasible=False,
+            objective=np.inf,
+            values=np.zeros(spec.n_vars),
+            message=message,
+        )
+
+
+# -- probe timing hooks ---------------------------------------------------------
+
+
+@dataclass
+class LPProbeStats:
+    """Accumulated LP solve cost observed inside a :func:`record_lp_probes` block."""
+
+    n_probes: int = 0
+    solve_seconds: float = 0.0
+    by_backend: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def per_probe_seconds(self) -> float:
+        """Mean wall-clock seconds per LP probe (0 when no probe ran)."""
+        return self.solve_seconds / self.n_probes if self.n_probes else 0.0
+
+    def fraction_of(self, total_seconds: float) -> float:
+        """LP-solve share of ``total_seconds`` (e.g. the scheduler wall-clock)."""
+        return self.solve_seconds / total_seconds if total_seconds > 0 else 0.0
+
+
+#: Stack of active stat collectors (nested ``record_lp_probes`` blocks all see
+#: every probe run inside them).
+_ACTIVE_STATS: list[LPProbeStats] = []
+
+
+def _note_probe(backend_name: str, seconds: float) -> None:
+    for stats in _ACTIVE_STATS:
+        stats.n_probes += 1
+        stats.solve_seconds += seconds
+        stats.by_backend[backend_name] = stats.by_backend.get(backend_name, 0) + 1
+
+
+@contextmanager
+def record_lp_probes() -> Iterator[LPProbeStats]:
+    """Collect the number and wall-clock cost of LP solves in the block.
+
+    >>> from repro.lp.backends import record_lp_probes
+    >>> with record_lp_probes() as stats:
+    ...     pass  # run a simulation / milestone search ...
+    >>> stats.n_probes
+    0
+
+    The hook sits inside :meth:`SolverBackend.solve`, so it measures the pure
+    solver time (model build + factorization + simplex/IPM), excluding the
+    Python-side constraint assembly -- which is exactly the "LP is the floor"
+    quantity tracked by ``benchmarks/bench_overhead.py``.
+    """
+    stats = LPProbeStats()
+    _ACTIVE_STATS.append(stats)
+    try:
+        yield stats
+    finally:
+        _ACTIVE_STATS.remove(stats)

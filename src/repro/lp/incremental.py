@@ -24,6 +24,13 @@ the historical builder, the context returns *bit-identical* objectives and
 allocations to the from-scratch path -- ``incremental=False`` on
 :class:`~repro.schedulers.online_lp.OnlineLPScheduler` exists purely for
 benchmarking the difference.
+
+The LP solves themselves go through a pluggable :mod:`repro.lp.backends`
+backend owned by the context.  The default (one-shot scipy) preserves the
+bit-identical guarantee above; the persistent HiGHS backend
+(``solver_backend="highs"``) additionally keeps factorized solver models
+alive between probes and replans, which changes results only within solver
+tolerance (equivalence is enforced by ``tests/test_lp_backends.py``).
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Mapping
 
 from repro.core.instance import Instance
+from repro.lp.backends import SolverBackend, make_backend
 from repro.lp.maxstretch import (
     ConstraintSkeleton,
     MaxStretchSolution,
@@ -64,6 +72,15 @@ class ReplanContext:
     instance:
         The instance being simulated.  The platform-derived caches (resource
         tuple, per-databank eligibility) are computed once here.
+    solver_backend:
+        LP solver backend carried across the context's solves: a name
+        (``"scipy"`` | ``"highs"`` | ``"auto"``), a ready
+        :class:`~repro.lp.backends.SolverBackend` instance, or ``None`` for
+        the one-shot scipy default.  With the persistent HiGHS backend the
+        context owns the live solver models alongside its constraint-skeleton
+        cache, so consecutive milestone probes and System (2) solves sharing
+        a skeleton pattern are delta updates on an already-factorized model
+        instead of from-scratch rebuilds.
 
     Attributes
     ----------
@@ -72,14 +89,26 @@ class ReplanContext:
         the first); used to warm-start the next milestone search.
     n_replans:
         Number of System (1) resolutions performed through this context.
+    backend:
+        The resolved :class:`~repro.lp.backends.SolverBackend`.
     """
 
-    def __init__(self, instance: Instance):
+    def __init__(
+        self,
+        instance: Instance,
+        *,
+        solver_backend: "str | SolverBackend | None" = None,
+    ):
         self.instance = instance
         self.resources: tuple[Resource, ...] = build_resources(instance)
         self.eligibility: dict[str | None, tuple[int, ...]] = build_eligibility(
             instance, self.resources
         )
+        self.backend: SolverBackend = make_backend(solver_backend)
+        # A caller-supplied backend instance may have served a previous run;
+        # drop its live models/bases so warm starts never cross simulations
+        # (no-op for the freshly made or stateless backends).
+        self.backend.close()
         self.last_objective: float | None = None
         self.n_replans: int = 0
         self._skeletons: dict[tuple, ConstraintSkeleton] = {}
@@ -109,6 +138,7 @@ class ReplanContext:
             problem,
             warm_start=self.last_objective,
             skeleton_cache=self._skeletons,
+            backend=self.backend,
         )
         self.last_objective = solution.objective
         self.n_replans += 1
@@ -120,8 +150,12 @@ class ReplanContext:
     ) -> MaxStretchSolution:
         """System (2) at fixed ``objective``, sharing the skeleton cache."""
         return reoptimize_allocation(
-            problem, objective, skeleton_cache=self._skeletons
+            problem, objective, skeleton_cache=self._skeletons, backend=self.backend
         )
+
+    def close(self) -> None:
+        """Release the backend's persistent solver state (live HiGHS models)."""
+        self.backend.close()
 
     # -- internals ----------------------------------------------------------------
     def _trim_skeletons(self) -> None:

@@ -29,6 +29,7 @@ from typing import Mapping, MutableMapping, Sequence
 import numpy as np
 
 from repro.core.errors import InfeasibleError, SolverError
+from repro.lp.backends import SolverBackend, WarmStartHint
 from repro.lp.intervals import IntervalStructure, build_interval_structure
 from repro.lp.milestones import enumerate_milestones
 from repro.lp.problem import LPJob, MaxStretchProblem
@@ -38,6 +39,8 @@ __all__ = [
     "MaxStretchSolution",
     "ConstraintSkeleton",
     "build_skeleton",
+    "model_key",
+    "warm_hint",
     "minimize_max_weighted_flow",
     "solve_on_objective_range",
 ]
@@ -252,6 +255,99 @@ def build_skeleton(
     return skeleton
 
 
+def model_key(
+    problem: MaxStretchProblem, skeleton: ConstraintSkeleton, tag: str
+) -> tuple:
+    """Persistence key for the LP built from ``skeleton`` (see backends).
+
+    Two builders producing the same key are guaranteed to share the exact
+    constraint matrix -- sparsity pattern *and* values: the variable/row
+    layout is pinned by the skeleton's job windows and resource groups, the x
+    coefficients are all 1, the F-column coefficients of System (1) are
+    ``-speed * length.coef`` where the interval-length slopes derive from the
+    boundary *slopes* only, and the resource speeds are keyed explicitly.
+    The boundary constants (which move with the current time between replans)
+    only enter the right-hand sides and the F bounds, which persistent
+    backends delta-update.  ``tag`` separates the System (1) layout (leading
+    F variable) from the System (2) layout (x variables only).
+    """
+    boundaries, jobs = skeleton.signature
+    return (
+        tag,
+        tuple(coef for _const, coef in boundaries),
+        jobs,
+        tuple(r.speed for r in problem.resources),
+    )
+
+
+#: Stable column identity of the objective variable F in warm-start hints
+#: (work-variable identities are non-negative bit-packed triples).
+_F_COL_ID = -1
+
+
+def warm_hint(
+    problem: MaxStretchProblem,
+    skeleton: ConstraintSkeleton,
+    *,
+    with_objective_var: bool,
+) -> WarmStartHint:
+    """Basis-transplant identities for the LP built from ``skeleton``.
+
+    Work variables are identified by their ``(interval, resource, job)``
+    triple, capacity rows by ``(interval, resource)`` and completeness rows
+    by job id -- bit-packed into int64 so the backend's basis mapping stays
+    vectorized.  Consecutive milestone probes (and the System (2) solve
+    after the winning probe -- ``with_objective_var=False`` drops the F
+    column) overlap on most identities, so the previous basis mapped through
+    them is a near-optimal starting basis even though the matrices differ.
+    All LPs of one search/replan sequence share a single series: the backend
+    is per-context, so bases never leak across simulation runs.
+
+    The id arrays are cached on the skeleton (which the
+    :class:`~repro.lp.incremental.ReplanContext` skeleton cache already
+    shares between the winning System (1) probe and the System (2) solve).
+    """
+    cache = skeleton.__dict__.get("_warm_ids")
+    if cache is None:
+        keys = skeleton.keys
+        col_ids = np.fromiter(
+            ((t << 36) | (c << 24) | j for t, c, j in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+        n_caps = len(skeleton.capacity_groups)
+        row_ids = np.fromiter(
+            (
+                (t << 12) | c
+                for (t, c), _positions in skeleton.capacity_groups
+            ),
+            dtype=np.int64,
+            count=n_caps,
+        )
+        job_rows = np.fromiter(
+            (
+                (1 << 60) | problem.jobs[pos_job].job_id
+                for pos_job, _positions in skeleton.completeness_groups
+            ),
+            dtype=np.int64,
+            count=len(skeleton.completeness_groups),
+        )
+        cache = (
+            np.concatenate([np.array([_F_COL_ID], dtype=np.int64), col_ids]),
+            col_ids,
+            np.concatenate([row_ids, job_rows]),
+        )
+        # ConstraintSkeleton is frozen; stash the derived arrays directly in
+        # its instance dict (pure cache, invisible to equality/signature).
+        object.__setattr__(skeleton, "_warm_ids", cache)
+    col_with_f, col_plain, row_ids = cache
+    return WarmStartHint(
+        series="milestone-lps",
+        col_ids=col_with_f if with_objective_var else col_plain,
+        row_ids=row_ids,
+    )
+
+
 def _assemble_constraints(
     builder: LinearProgramBuilder,
     problem: MaxStretchProblem,
@@ -292,13 +388,17 @@ def solve_on_objective_range(
     f_high: float,
     *,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
 ) -> MaxStretchSolution | None:
     """Solve System (1) restricted to objective values in ``[f_low, f_high]``.
 
     Returns ``None`` when no feasible schedule exists with a maximum weighted
     flow in that range (the expected outcome for ranges below the optimum).
     ``skeleton_cache`` optionally reuses constraint skeletons across solves
-    sharing the same interval structure (see :class:`ConstraintSkeleton`).
+    sharing the same interval structure (see :class:`ConstraintSkeleton`);
+    ``backend`` selects the LP solver backend (persistent backends
+    additionally reuse live solver models across probes sharing a skeleton
+    pattern, keyed by :func:`model_key`).
     """
     if not problem.jobs:
         return MaxStretchSolution(
@@ -325,7 +425,11 @@ def solve_on_objective_range(
         builder, problem, skeleton, offset=1, f_var=f_var, objective_value=None
     )
 
-    result = builder.solve()
+    key = warm = None
+    if backend is not None and backend.persistent:
+        key = model_key(problem, skeleton, "sys1")
+        warm = warm_hint(problem, skeleton, with_objective_var=True)
+    result = builder.solve(backend=backend, key=key, warm=warm)
     if not result.feasible:
         return None
 
@@ -348,6 +452,7 @@ def minimize_max_weighted_flow(
     max_milestones: int | None = None,
     warm_start: float | None = None,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
 ) -> MaxStretchSolution:
     """Compute the optimal max weighted flow (max-stretch) for ``problem``.
 
@@ -371,6 +476,12 @@ def minimize_max_weighted_flow(
     skeleton_cache:
         Optional mapping reusing constraint skeletons across solves (see
         :class:`ConstraintSkeleton`).
+    backend:
+        LP solver backend; ``None`` uses the one-shot scipy default.  A
+        persistent backend (``HighsPersistentBackend``) additionally reuses
+        live solver models between probes sharing a skeleton pattern and
+        warm-starts dual simplex from the previous basis; results are
+        equivalent within solver tolerance.
 
     Raises
     ------
@@ -396,7 +507,7 @@ def minimize_max_weighted_flow(
         start_idx = min(max(bisect.bisect_right(boundaries, warm_start) - 1, 0), last)
 
     best = _search_first_feasible(
-        problem, boundaries, start_idx, skeleton_cache=skeleton_cache
+        problem, boundaries, start_idx, skeleton_cache=skeleton_cache, backend=backend
     )
 
     if best is None:
@@ -404,7 +515,8 @@ def minimize_max_weighted_flow(
         # the last interval infeasible, retry with a widened bracket before
         # giving up.
         widened = solve_on_objective_range(
-            problem, f_lb, 2.0 * f_ub + 1.0, skeleton_cache=skeleton_cache
+            problem, f_lb, 2.0 * f_ub + 1.0, skeleton_cache=skeleton_cache,
+            backend=backend,
         )
         if widened is None:
             raise InfeasibleError(
@@ -420,6 +532,7 @@ def _search_first_feasible(
     start_idx: int,
     *,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
 ) -> MaxStretchSolution | None:
     """Locate the first feasible milestone interval and return its optimum.
 
@@ -436,7 +549,8 @@ def _search_first_feasible(
 
     def probe(i: int) -> MaxStretchSolution | None:
         return solve_on_objective_range(
-            problem, boundaries[i], boundaries[i + 1], skeleton_cache=skeleton_cache
+            problem, boundaries[i], boundaries[i + 1],
+            skeleton_cache=skeleton_cache, backend=backend,
         )
 
     best: MaxStretchSolution | None = None

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import MutableMapping
 
 from repro.core.errors import InfeasibleError
+from repro.lp.backends import SolverBackend
 from repro.lp.intervals import build_interval_structure
 from repro.lp.maxstretch import (
     ConstraintSkeleton,
@@ -29,6 +30,8 @@ from repro.lp.maxstretch import (
     _assemble_constraints,
     _extract_allocations,
     build_skeleton,
+    model_key,
+    warm_hint,
 )
 from repro.lp.problem import MaxStretchProblem
 from repro.lp.solver import LinearProgramBuilder
@@ -43,6 +46,7 @@ def reoptimize_allocation(
     inflation: float = 1e-7,
     max_inflation: float = 1e-3,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
 ) -> MaxStretchSolution:
     """Solve System (2) for ``problem`` at max weighted flow ``objective``.
 
@@ -59,6 +63,11 @@ def reoptimize_allocation(
         winning System (1) probe, so the skeleton is a cache hit when the
         same mapping was passed to
         :func:`~repro.lp.maxstretch.minimize_max_weighted_flow`.
+    backend:
+        LP solver backend (``None`` -> one-shot scipy default).  With a
+        persistent backend, the geometric inflation retries below -- and any
+        later System (2) solve sharing the same skeleton pattern -- reuse one
+        live solver model through pure RHS/cost delta updates.
     inflation:
         Relative slack added to ``objective`` before building the deadlines.
         The optimum returned by :func:`minimize_max_weighted_flow` sits
@@ -88,7 +97,7 @@ def reoptimize_allocation(
     last_error: str | None = None
     while slack <= max_inflation:
         target = objective * (1.0 + slack)
-        solution = _solve_fixed_objective(problem, target, skeleton_cache)
+        solution = _solve_fixed_objective(problem, target, skeleton_cache, backend)
         if solution is not None:
             return solution
         last_error = f"System (2) infeasible at objective {target!r}"
@@ -100,6 +109,7 @@ def _solve_fixed_objective(
     problem: MaxStretchProblem,
     objective: float,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
 ) -> MaxStretchSolution | None:
     structure = build_interval_structure(problem, objective)
     skeleton = build_skeleton(problem, structure, skeleton_cache)
@@ -122,7 +132,11 @@ def _solve_fixed_objective(
         builder, problem, skeleton, offset=0, f_var=None, objective_value=objective
     )
 
-    result = builder.solve()
+    key = warm = None
+    if backend is not None and backend.persistent:
+        key = model_key(problem, skeleton, "sys2")
+        warm = warm_hint(problem, skeleton, with_objective_var=False)
+    result = builder.solve(backend=backend, key=key, warm=warm)
     if not result.feasible:
         return None
     var_index = {key: pos for pos, key in enumerate(skeleton.keys)}

@@ -1,38 +1,29 @@
-"""A thin, sparse-friendly wrapper around :func:`scipy.optimize.linprog`.
+"""A sparse-friendly LP builder in front of the pluggable solver backends.
 
 The LPs built by :mod:`repro.lp.maxstretch` and :mod:`repro.lp.relaxation`
 are sparse (each variable appears in exactly one capacity constraint and one
-completeness constraint), so constraints are accumulated in COO form and
-converted to CSR before the HiGHS call.
+completeness constraint), so constraints are accumulated in COO form; the
+actual solve is delegated to a :mod:`repro.lp.backends` backend -- the
+one-shot scipy path by default, or the persistent HiGHS backend that reuses
+factorized models across milestone probes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Hashable, Sequence
 
 import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
 
 from repro.core.errors import SolverError
+from repro.lp.backends import (
+    LPResult,
+    LPSpec,
+    SolverBackend,
+    WarmStartHint,
+    default_backend,
+)
 
 __all__ = ["LinearProgramBuilder", "LPResult"]
-
-
-@dataclass
-class LPResult:
-    """Outcome of a linear program solve."""
-
-    status: int
-    feasible: bool
-    objective: float
-    values: np.ndarray
-    message: str = ""
-
-    def value(self, index: int) -> float:
-        """Value of variable ``index`` in the optimal solution."""
-        return float(self.values[index])
 
 
 class LinearProgramBuilder:
@@ -109,13 +100,53 @@ class LinearProgramBuilder:
             raise SolverError(f"unknown variable index {idx}")
 
     # -- solve ---------------------------------------------------------------------
-    def solve(self, *, method: str = "auto") -> LPResult:
+    def spec(self) -> LPSpec:
+        """A read-only view of the accumulated program for a solver backend."""
+        return LPSpec(
+            n_vars=self._n_vars,
+            objective=self._objective,
+            lower=self._lower,
+            upper=self._upper,
+            ub_rows=self._ub_rows,
+            ub_cols=self._ub_cols,
+            ub_vals=self._ub_vals,
+            ub_rhs=self._ub_rhs,
+            eq_rows=self._eq_rows,
+            eq_cols=self._eq_cols,
+            eq_vals=self._eq_vals,
+            eq_rhs=self._eq_rhs,
+        )
+
+    def solve(
+        self,
+        *,
+        method: str = "auto",
+        backend: SolverBackend | None = None,
+        key: Hashable | None = None,
+        warm: WarmStartHint | None = None,
+    ) -> LPResult:
         """Run the LP; returns an :class:`LPResult` (``feasible`` False when infeasible).
 
-        ``method`` is passed to :func:`scipy.optimize.linprog`; the default
-        ``"auto"`` picks HiGHS dual simplex for small programs and the HiGHS
-        interior-point method for large ones (empirically ~2x faster on the
-        transportation-like LPs produced by System (1) on big platforms).
+        Parameters
+        ----------
+        method:
+            Solver method hint.  The scipy backend passes it to
+            :func:`scipy.optimize.linprog` (``"auto"`` picks HiGHS dual
+            simplex for small programs and the interior-point method for
+            large ones); the persistent HiGHS backend ignores it.
+        backend:
+            The :class:`~repro.lp.backends.SolverBackend` to solve with;
+            ``None`` uses the process-wide default (one-shot scipy).
+        key:
+            Persistence key for backends that reuse live models: two solves
+            submitted under the same key MUST share the exact constraint
+            matrix (sparsity pattern and values) -- only costs, variable
+            bounds and row RHS may differ.  Ignored by one-shot backends.
+        warm:
+            Optional :class:`~repro.lp.backends.WarmStartHint` carrying
+            stable variable/row identities so a persistent backend can
+            transplant the previous basis of the same series onto a freshly
+            built model.  Ignored by one-shot backends.
 
         Raises :class:`SolverError` for unexpected solver failures (numerical
         breakdown, unboundedness, ...), but *not* for plain infeasibility,
@@ -123,48 +154,6 @@ class LinearProgramBuilder:
         """
         if self._n_vars == 0:
             return LPResult(status=0, feasible=True, objective=0.0, values=np.zeros(0))
-        if method == "auto":
-            method = "highs-ipm" if self._n_vars > 8000 else "highs"
-        c = np.asarray(self._objective)
-        bounds = list(zip(self._lower, self._upper))
-        a_ub = b_ub = a_eq = b_eq = None
-        if self._ub_rhs:
-            a_ub = sparse.coo_matrix(
-                (self._ub_vals, (self._ub_rows, self._ub_cols)),
-                shape=(len(self._ub_rhs), self._n_vars),
-            ).tocsr()
-            b_ub = np.asarray(self._ub_rhs)
-        if self._eq_rhs:
-            a_eq = sparse.coo_matrix(
-                (self._eq_vals, (self._eq_rows, self._eq_cols)),
-                shape=(len(self._eq_rhs), self._n_vars),
-            ).tocsr()
-            b_eq = np.asarray(self._eq_rhs)
-        result = linprog(
-            c,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=bounds,
-            method=method,
-        )
-        # scipy status codes: 0 success, 1 iteration limit, 2 infeasible,
-        # 3 unbounded, 4 numerical difficulties.
-        if result.status == 2:
-            return LPResult(
-                status=2,
-                feasible=False,
-                objective=np.inf,
-                values=np.zeros(self._n_vars),
-                message=result.message,
-            )
-        if result.status != 0:
-            raise SolverError(f"LP solver failed (status {result.status}): {result.message}")
-        return LPResult(
-            status=0,
-            feasible=True,
-            objective=float(result.fun),
-            values=np.asarray(result.x),
-            message=result.message,
-        )
+        if backend is None:
+            backend = default_backend()
+        return backend.solve(self.spec(), method=method, key=key, warm=warm)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro.core.instance import Instance
 from repro.lp.aggregation import edf_order, materialize_solution, swrpt_terminal_order
+from repro.lp.backends import SolverBackend, make_backend
 from repro.lp.maxstretch import minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
 from repro.lp.relaxation import reoptimize_allocation
@@ -39,13 +40,24 @@ class OfflineScheduler(PlanBasedScheduler):
         When True, the System (2) relaxation is applied on top of the optimal
         max-stretch before materializing the plan (off-line analogue of the
         on-line heuristic's step 3).
+    solver_backend:
+        LP solver backend (``"scipy"`` | ``"highs"`` | ``"auto"``, a backend
+        instance, or ``None`` for the scipy default).  The off-line solve is
+        a single milestone search, so the persistent backend mostly saves the
+        per-probe scipy overhead here (no cross-replan reuse to exploit).
     """
 
     name = "Offline"
 
-    def __init__(self, *, reoptimize_sum: bool = False):
+    def __init__(
+        self,
+        *,
+        reoptimize_sum: bool = False,
+        solver_backend: "str | SolverBackend | None" = None,
+    ):
         super().__init__()
         self.reoptimize_sum = reoptimize_sum
+        self.solver_backend = solver_backend
         if reoptimize_sum:
             self.name = "Offline+Sum"
         #: Optimal max-stretch computed at reset (None before reset).
@@ -56,12 +68,17 @@ class OfflineScheduler(PlanBasedScheduler):
         if len(instance.jobs) == 0:
             self.optimal_max_stretch = 0.0
             return
+        backend = make_backend(self.solver_backend)
+        # Caller-supplied instances may carry state from a previous run.
+        backend.close()
         problem = problem_from_instance(instance)
-        solution = minimize_max_weighted_flow(problem)
+        solution = minimize_max_weighted_flow(problem, backend=backend)
         self.optimal_max_stretch = solution.objective
         order_rule = edf_order
         if self.reoptimize_sum:
-            solution = reoptimize_allocation(problem, solution.objective)
+            solution = reoptimize_allocation(
+                problem, solution.objective, backend=backend
+            )
             order_rule = swrpt_terminal_order
         schedule = materialize_solution(solution, instance, order_rule=order_rule)
         self.set_plan(self.segments_from_schedule(schedule))

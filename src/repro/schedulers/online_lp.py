@@ -50,6 +50,7 @@ from repro.lp.aggregation import (
     split_work_across_machines,
     swrpt_terminal_order,
 )
+from repro.lp.backends import SolverBackend, make_backend
 from repro.lp.incremental import ReplanContext
 from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
@@ -85,6 +86,13 @@ class OnlineLPScheduler(PlanBasedScheduler):
         Carry a :class:`~repro.lp.incremental.ReplanContext` across replans
         (default).  ``False`` rebuilds everything from scratch at every
         resolution, as the original heuristic does.
+    solver_backend:
+        LP solver backend (``"scipy"`` | ``"highs"`` | ``"auto"``, a
+        :class:`~repro.lp.backends.SolverBackend` instance, or ``None`` for
+        the scipy default).  Orthogonal to ``incremental``: the backend
+        lives at the solver layer (one instance per run, owned by the
+        ReplanContext when ``incremental`` is on), so the from-scratch
+        planning path can still be measured against both backends.
     """
 
     def __init__(
@@ -93,6 +101,7 @@ class OnlineLPScheduler(PlanBasedScheduler):
         *,
         policy: "str | ReplanPolicy" = "on-arrival",
         incremental: bool = True,
+        solver_backend: "str | SolverBackend | None" = None,
     ):
         super().__init__(policy=parse_policy(policy))
         if variant not in _VARIANT_NAMES:
@@ -104,6 +113,8 @@ class OnlineLPScheduler(PlanBasedScheduler):
             # in result tables without renaming the paper-faithful default.
             self.name = f"{self.name} [{self.policy.describe()}]"
         self.incremental = incremental
+        self.solver_backend = solver_backend
+        self._backend: SolverBackend | None = None
         self._context: ReplanContext | None = None
         #: Best achievable max-stretch computed at the last release date.
         self.last_objective: float | None = None
@@ -114,7 +125,18 @@ class OnlineLPScheduler(PlanBasedScheduler):
     # -- event handling ------------------------------------------------------------
     def reset(self, instance: Instance) -> None:
         super().reset(instance)
-        self._context = ReplanContext(instance) if self.incremental else None
+        if self.incremental:
+            self._context = ReplanContext(
+                instance, solver_backend=self.solver_backend
+            )
+            self._backend = self._context.backend
+        else:
+            self._context = None
+            # Persistent solver state never leaks across runs: freshly named
+            # backends start empty, and a caller-supplied instance is
+            # emptied here (mirroring the ReplanContext lifetime).
+            self._backend = make_backend(self.solver_backend)
+            self._backend.close()
         self.last_objective = None
         self.n_resolutions = 0
         self._egdf_rank = {}
@@ -138,7 +160,7 @@ class OnlineLPScheduler(PlanBasedScheduler):
             best = self._context.solve_max_stretch(problem)
         else:
             problem = problem_from_instance(instance, now=now, remaining=remaining)
-            best = minimize_max_weighted_flow(problem)
+            best = minimize_max_weighted_flow(problem, backend=self._backend)
         self.last_objective = best.objective
         self.n_resolutions += 1
 
@@ -148,7 +170,9 @@ class OnlineLPScheduler(PlanBasedScheduler):
             # Step 3: System (2) re-optimization at fixed max-stretch.
             solution = self._context.reoptimize(problem, best.objective)
         else:
-            solution = reoptimize_allocation(problem, best.objective)
+            solution = reoptimize_allocation(
+                problem, best.objective, backend=self._backend
+            )
 
         # Step 4: build the executable plan.
         if self.variant == "online-egdf":

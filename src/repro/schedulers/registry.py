@@ -39,6 +39,7 @@ __all__ = [
     "paper_schedulers",
     "PAPER_TABLE1_ORDER",
     "ONLINE_LP_SCHEDULERS",
+    "LP_SOLVER_SCHEDULERS",
 ]
 
 #: Keys of the on-line LP heuristics -- the schedulers that accept the
@@ -50,6 +51,15 @@ ONLINE_LP_SCHEDULERS: tuple[str, ...] = (
     "online-edf",
     "online-egdf",
     "online-nonopt",
+)
+
+#: Keys of every scheduler that solves Systems (1)/(2) and therefore accepts
+#: the ``solver_backend=...`` knob (the on-line heuristics plus the off-line
+#: optimal variants).  The experiment-config and CLI layers consult this
+#: tuple so a new LP consumer cannot drift out of sync with them.
+LP_SOLVER_SCHEDULERS: tuple[str, ...] = ONLINE_LP_SCHEDULERS + (
+    "offline",
+    "offline-sum",
 )
 
 SchedulerFactory = Callable[[], Scheduler]

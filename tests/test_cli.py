@@ -30,6 +30,15 @@ class TestParser:
         assert args.sites == [3]
         assert args.densities == [1.0, 2.0]
 
+    def test_solver_backend_flag(self):
+        for sub in ("simulate", "campaign", "overhead"):
+            args = build_parser().parse_args([sub])
+            assert args.solver_backend == "scipy"
+            args = build_parser().parse_args([sub, "--solver-backend", "auto"])
+            assert args.solver_backend == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--solver-backend", "cplex"])
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -49,6 +58,37 @@ class TestCommands:
         assert code == 0
         assert "SWRPT" in out and "MCT" in out
         assert "max-stretch" in out
+
+    def test_simulate_with_highs_backend(self, capsys):
+        from repro.lp.backends import highs_available
+
+        if not highs_available():
+            pytest.skip("HiGHS bindings unavailable")
+        code = main(
+            [
+                "simulate",
+                "--clusters", "2",
+                "--databanks", "2",
+                "--processors", "3",
+                "--window", "12",
+                "--max-jobs", "5",
+                "--schedulers", "online", "offline",
+                "--solver-backend", "highs",
+                "--seed", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Online" in out and "Offline" in out
+
+    def test_highs_backend_unavailable_is_reported(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "available_backends", lambda: ("scipy",))
+        code = main(["simulate", "--max-jobs", "3", "--solver-backend", "highs"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "highspy" in err
 
     def test_simulate_with_trace_and_gantt(self, capsys):
         code = main(

@@ -61,6 +61,23 @@ class TestExperimentConfig:
         with pytest.raises(ModelError):
             self.make(density=0.0)
 
+    def test_solver_backend_default_and_validation(self):
+        config = self.make()
+        assert config.solver_backend == "scipy"
+        assert config.as_dict()["solver_backend"] == "scipy"
+        assert self.make(solver_backend="highs").solver_backend == "highs"
+        assert self.make(solver_backend="auto").solver_backend == "auto"
+        with pytest.raises(ModelError):
+            self.make(solver_backend="cplex")
+
+    def test_solver_backend_reaches_lp_schedulers(self):
+        config = self.make(solver_backend="auto")
+        online = config.scheduler_options_for("online")
+        assert online["solver_backend"] == "auto"
+        assert online["policy"] == "on-arrival"
+        assert config.scheduler_options_for("offline") == {"solver_backend": "auto"}
+        assert config.scheduler_options_for("swrpt") == {}
+
 
 class TestPaperDesign:
     def test_full_factorial_size(self):

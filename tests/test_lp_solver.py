@@ -77,6 +77,50 @@ class TestLinearProgramBuilder:
         assert result.feasible
         assert result.value(x) == pytest.approx(1.0, abs=1e-6)
 
+    def test_iteration_limit_retried_with_ipm(self, monkeypatch):
+        """scipy status 1 (iteration limit) retries once with highs-ipm."""
+        import repro.lp.backends.scipy_backend as scipy_backend_mod
+
+        real_linprog = scipy_backend_mod.linprog
+        methods: list[str] = []
+
+        def flaky_linprog(c, **kwargs):
+            methods.append(kwargs.get("method"))
+            if len(methods) == 1:
+                result = real_linprog(c, **kwargs)
+                result.status = 1
+                result.message = "iteration limit reached (simulated)"
+                return result
+            return real_linprog(c, **kwargs)
+
+        monkeypatch.setattr(scipy_backend_mod, "linprog", flaky_linprog)
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(objective=1.0, lower=2.0)
+        result = builder.solve()
+        assert result.feasible
+        assert result.value(x) == pytest.approx(2.0, abs=1e-6)
+        assert methods == ["highs", "highs-ipm"]
+
+    def test_iteration_limit_twice_raises(self, monkeypatch):
+        import repro.lp.backends.scipy_backend as scipy_backend_mod
+
+        real_linprog = scipy_backend_mod.linprog
+        calls: list[str] = []
+
+        def always_limited(c, **kwargs):
+            calls.append(kwargs.get("method"))
+            result = real_linprog(c, **kwargs)
+            result.status = 1
+            result.message = "iteration limit reached (simulated)"
+            return result
+
+        monkeypatch.setattr(scipy_backend_mod, "linprog", always_limited)
+        builder = LinearProgramBuilder()
+        builder.add_variable(objective=1.0, lower=2.0)
+        with pytest.raises(SolverError, match="status 1"):
+            builder.solve()
+        assert calls == ["highs", "highs-ipm"]
+
     def test_transportation_like_problem(self):
         # Two suppliers (capacities 3 and 2), two demands (2 and 3); cost
         # favours supplier 0 for demand 0 and supplier 1 for demand 1.
