@@ -1,0 +1,196 @@
+"""Campaign execution engine benchmark: sharding speedup + backend A/B gate.
+
+Two enforced properties of :func:`repro.experiments.runner.run_campaign`:
+
+* **Sharding is free of result drift and actually scales.**  The sharded
+  mini-campaign must produce a record set bit-identical (order-independent,
+  timing measurements excluded) to the serial run -- always enforced -- and
+  at ``REPRO_BENCH_WORKERS`` (default 4) workers the wall-clock speedup must
+  be >= 2x whenever the machine has that many CPUs (the acceptance target;
+  on smaller machines the measurement is still recorded, the gate is
+  skipped).
+* **The backend A/B equivalence gate.**  The same mini-campaign run with the
+  one-shot scipy backend and with the persistent HiGHS backend must agree:
+  per-record on the tie-free optimized metric (max_stretch, solver
+  tolerance) and on the per-scheduler means of the tie-broken metrics
+  (within the documented 10 % -- System (2) degeneracy legitimately
+  perturbs individual runs, worst observed ~8 % on Offline at this sample
+  size).  This is the campaign-scale evidence behind the
+  ``--solver-backend`` default flip from ``scipy`` to ``auto``.
+
+Both write into ``benchmarks/_artifacts/BENCH_campaign.json`` (uploaded by
+CI) so the campaign throughput trajectory -- wall-clock, records/sec, worker
+count -- is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.experiments.ab import run_backend_ab
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_campaign
+from repro.lp.backends import highs_available, resolve_backend_name
+
+from _bench_utils import ARTIFACT_DIR, write_json_artifact
+
+_ARTIFACT = "BENCH_campaign.json"
+
+#: Schedulers of the mini-campaign: the LP hot path (on-line variants +
+#: off-line optimal) plus list heuristics, so task costs are heterogeneous
+#: the way the real Table 1 campaign's are.
+_SCHEDULERS = ("online", "online-edf", "offline", "swrpt", "srpt", "mct")
+
+
+def _scale() -> dict[str, int | float]:
+    """Mini-campaign scale knobs (shrunk by CI smoke runs via the env)."""
+    return {
+        "replicates": int(os.environ.get("REPRO_BENCH_CAMPAIGN_REPLICATES", "5")),
+        "max_jobs": int(os.environ.get("REPRO_BENCH_CAMPAIGN_MAX_JOBS", "30")),
+        "window": float(os.environ.get("REPRO_BENCH_CAMPAIGN_WINDOW", "60")),
+        "workers": int(os.environ.get("REPRO_BENCH_WORKERS", "4")),
+    }
+
+
+def _mini_campaign(scale) -> list[ExperimentConfig]:
+    """Three heterogeneous configurations spanning the factorial axes."""
+    def mk(name, sites, databanks, availability, density):
+        return ExperimentConfig(
+            name=name, n_clusters=sites, n_databanks=databanks,
+            availability=availability, density=density,
+            processors_per_cluster=5, window=scale["window"],
+            max_jobs=scale["max_jobs"],
+        )
+
+    return [
+        mk("bench-low", 2, 2, 0.6, 1.0),
+        mk("bench-mid", 3, 3, 0.9, 1.5),
+        mk("bench-high", 3, 2, 0.3, 2.0),
+    ]
+
+
+def _update_artifact(section: str, payload: dict) -> None:
+    """Merge ``section`` into BENCH_campaign.json (benches run independently)."""
+    path = ARTIFACT_DIR / _ARTIFACT
+    existing = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+    existing[section] = payload
+    write_json_artifact(_ARTIFACT, existing)
+
+
+def bench_campaign_sharded_speedup(benchmark):
+    """Serial vs sharded mini-campaign: bit-identity always, >= 2x on >= 4 CPUs."""
+    scale = _scale()
+    configs = _mini_campaign(scale)
+    workers = int(scale["workers"])
+
+    def run(n_workers: int):
+        start = time.perf_counter()
+        results = run_campaign(
+            configs,
+            scheduler_keys=_SCHEDULERS,
+            replicates=int(scale["replicates"]),
+            base_seed=2006,
+            n_workers=n_workers,
+        )
+        return results, time.perf_counter() - start
+
+    serial, serial_seconds = benchmark.pedantic(
+        lambda: run(1), rounds=1, iterations=1
+    )
+    sharded, sharded_seconds = run(workers)
+
+    identical = sharded.result_set() == serial.result_set()
+    speedup = serial_seconds / sharded_seconds if sharded_seconds > 0 else 0.0
+    cpu_count = os.cpu_count() or 1
+    enforced = cpu_count >= workers
+    _update_artifact(
+        "sharded_speedup",
+        {
+            "n_configs": len(configs),
+            "replicates": scale["replicates"],
+            "n_schedulers": len(_SCHEDULERS),
+            "n_records": len(serial),
+            "worker_count": workers,
+            "cpu_count": cpu_count,
+            "wall_clock_serial_s": round(serial_seconds, 3),
+            "wall_clock_sharded_s": round(sharded_seconds, 3),
+            "records_per_second_serial": round(len(serial) / serial_seconds, 2),
+            "records_per_second_sharded": round(len(sharded) / sharded_seconds, 2),
+            "speedup": round(speedup, 3),
+            "bit_identical": identical,
+            "speedup_gate_enforced": enforced,
+        },
+    )
+
+    # The hard invariant holds on any machine: sharding may never change the
+    # record set (timing measurements aside).
+    assert identical, "sharded campaign record set differs from the serial run"
+    assert not any(r.failed for r in serial), "mini-campaign has failed runs"
+    if not enforced:
+        pytest.skip(
+            f"only {cpu_count} CPU(s); the >= 2x speedup gate needs "
+            f">= {workers} (measurement recorded in {_ARTIFACT})"
+        )
+    assert speedup >= 2.0, (
+        f"campaign sharding at {workers} workers only {speedup:.2f}x faster "
+        f"({serial_seconds:.1f}s -> {sharded_seconds:.1f}s; target >= 2x)"
+    )
+
+
+def bench_campaign_backend_ab(benchmark):
+    """The equivalence gate behind the ``--solver-backend auto`` default."""
+    scale = _scale()
+    configs = _mini_campaign(scale)
+
+    report, results_a, _ = benchmark.pedantic(
+        lambda: run_backend_ab(
+            configs,
+            scheduler_keys=_SCHEDULERS,
+            replicates=int(scale["replicates"]),
+            base_seed=2006,
+            n_workers=int(scale["workers"]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _update_artifact(
+        "backend_ab",
+        {
+            "backend_a": report.backend_a,
+            "backend_b": report.backend_b,
+            "highs_available": highs_available(),
+            "n_records": report.n_records,
+            "n_identical": report.n_identical,
+            "objective_tolerance": report.objective_tolerance,
+            "tie_tolerance": report.tie_tolerance,
+            "max_rel_diff_per_record": {
+                metric: round(diff, 9)
+                for metric, diff in sorted(report.max_rel_diff.items())
+            },
+            "worst_aggregate_diff": {
+                metric: {
+                    "scheduler": report.worst_aggregate_diff(metric)[0],
+                    "rel_diff": round(report.worst_aggregate_diff(metric)[1], 9),
+                }
+                for metric in sorted({m for _, m in report.aggregate_diffs})
+            },
+            "equivalent": report.equivalent,
+        },
+    )
+    assert report.n_records == len(results_a) > 0
+    assert report.equivalent, f"backend A/B gate failed:\n{report.render()}"
+    if not highs_available():
+        pytest.skip(
+            "no HiGHS bindings; A/B degenerated to scipy-vs-scipy "
+            f"(recorded in {_ARTIFACT})"
+        )
+    assert report.backend_b == resolve_backend_name("auto") == "highs"

@@ -48,6 +48,14 @@ the *incremental replanning pipeline* spanning the starred modules::
     |   `-- ...          offline, bender98/02, mct, priority heuristics
     |-- workload/      GriPPS-like synthetic platform/workload generation
     |-- experiments/   the paper's campaign (configs carry the replan knobs)
+    |   |-- runner     * campaign engine: (config, replicate, scheduler) task
+    |   |                streaming over long-lived workers (instance LRU +
+    |   |                resident solver backend), bit-identical at any
+    |   |                worker count, progress/ETA
+    |   |-- ab           scipy-vs-HiGHS campaign A/B equivalence harness
+    |   |-- io           CSV/JSON persistence + JSONL campaign checkpoints
+    |   |                (kill-tolerant --checkpoint/--resume)
+    |   `-- ...          config, statistics, tables, figures, overhead
     `-- theory/        constructions behind Theorems 1 and 2
 """
 

@@ -10,7 +10,15 @@ Sub-commands
 ``campaign``
     Run a (scaled-down) version of the paper's factorial campaign and print
     Table 1 plus, optionally, the per-parameter breakdowns; raw records can
-    be saved to CSV.
+    be saved to CSV.  The campaign execution engine streams (configuration,
+    replicate, scheduler) tasks over ``--workers`` long-lived processes,
+    journals completed records to ``--checkpoint FILE`` (JSONL) and resumes
+    a killed run with ``--resume``; ``--ab-backends`` runs the campaign once
+    per solver backend and prints the equivalence report instead::
+
+        repro-stretch campaign --workers 4 --checkpoint campaign.jsonl
+        repro-stretch campaign --workers 4 --checkpoint campaign.jsonl --resume
+        repro-stretch campaign --workers 4 --ab-backends
 ``figure3``
     Run the density sweep of Figure 3 and print both series.
 ``overhead``
@@ -33,6 +41,8 @@ from repro.experiments.config import (
     figure3_configurations,
     paper_configurations,
 )
+from repro.core.errors import ReproError
+from repro.experiments.ab import run_backend_ab
 from repro.experiments.figures import run_figure3_sweep
 from repro.experiments.io import save_records_csv
 from repro.experiments.overhead import DEFAULT_OVERHEAD_SCHEDULERS, scheduling_overhead
@@ -44,7 +54,7 @@ from repro.experiments.tables import (
     tables_by_density,
     tables_by_sites,
 )
-from repro.lp.backends import BACKEND_CHOICES, available_backends
+from repro.lp.backends import BACKEND_CHOICES, available_backends, resolve_backend_name
 from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import (
     LP_SOLVER_SCHEDULERS,
@@ -104,6 +114,43 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--schedulers", nargs="+", default=None, metavar="KEY")
     camp.add_argument("--save-csv", type=str, default=None)
     camp.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
+    camp.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="append completed records to this JSONL journal as they stream "
+        "in, so a killed campaign can be continued with --resume",
+    )
+    camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="load the --checkpoint journal and skip every (config, "
+        "replicate, scheduler) triple it already contains",
+    )
+    camp.add_argument(
+        "--ab-backends",
+        action="store_true",
+        help="run the campaign once with the scipy backend and once with "
+        "the persistent HiGHS backend, and print the record-set "
+        "equivalence report (exit code 1 on mismatch) instead of Table 1",
+    )
+    camp.add_argument(
+        "--ab-tolerance",
+        type=float,
+        default=1e-6,
+        help="relative tolerance on the tie-free optimized metric "
+        "(max_stretch) in the --ab-backends comparison",
+    )
+    camp.add_argument(
+        "--ab-tie-tolerance",
+        type=float,
+        default=0.10,
+        help="relative tolerance on the per-scheduler means of the "
+        "tie-broken metrics (sum_stretch, sum_flow, max_flow, makespan), "
+        "which degenerate-vertex tie-breaking legitimately perturbs "
+        "across solver backends",
+    )
     _add_replanning_arguments(camp)
 
     fig = sub.add_parser("figure3", help="run the Figure 3 density sweep")
@@ -167,11 +214,14 @@ def _add_replanning_arguments(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--solver-backend",
         choices=BACKEND_CHOICES,
-        default="scipy",
-        help="LP solver backend for the LP-based schedulers: 'scipy' "
-        "(one-shot linprog, default), 'highs' (persistent models with "
-        "basis warm starts across milestone probes and replans; needs "
-        "highspy or scipy >= 1.15), or 'auto' (highs when available)",
+        default="auto",
+        help="LP solver backend for the LP-based schedulers: 'auto' "
+        "(default: the persistent HiGHS backend -- live models with basis "
+        "warm starts across milestone probes and replans -- when highspy "
+        "or scipy >= 1.15 provides bindings, one-shot scipy otherwise), "
+        "'highs' (require the persistent backend), or 'scipy' (force the "
+        "one-shot linprog path: the bit-stable escape hatch reproducing "
+        "the historical campaign numbers exactly)",
     )
 
 
@@ -255,6 +305,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint FILE", file=sys.stderr)
+        return 2
+    if args.ab_backends and (args.checkpoint or args.save_csv or args.breakdowns):
+        # The A/B path runs two campaigns and prints a comparison; wiring a
+        # single journal/CSV/table set to it would silently drop one side.
+        print(
+            "error: --ab-backends is incompatible with --checkpoint, "
+            "--save-csv and --breakdowns",
+            file=sys.stderr,
+        )
+        return 2
     configs = paper_configurations(
         sites=args.sites,
         databanks=args.databanks,
@@ -267,18 +329,61 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         solver_backend=args.solver_backend,
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
+    progress = lambda msg: print(f"  {msg}", file=sys.stderr)
+    if args.ab_backends:
+        # The requested backend is side B of the comparison (the 'auto'
+        # default compares scipy against whatever auto resolves to here).
+        backend_b = resolve_backend_name(args.solver_backend)
+        if backend_b == "scipy":
+            print(
+                "warning: side B resolves to scipy (no HiGHS bindings, or "
+                "--solver-backend scipy was passed) -- this compares scipy "
+                "against itself and does NOT exercise the persistent backend",
+                file=sys.stderr,
+            )
+        print(
+            f"Backend A/B over {len(configs)} configurations x {args.replicates} "
+            f"replicates x {len(scheduler_keys)} schedulers "
+            f"(scipy vs {backend_b}, {args.workers} workers) ..."
+        )
+        try:
+            report, _, _ = run_backend_ab(
+                configs,
+                scheduler_keys=scheduler_keys,
+                replicates=args.replicates,
+                base_seed=args.seed,
+                n_workers=args.workers,
+                backend_b=args.solver_backend,
+                objective_tolerance=args.ab_tolerance,
+                tie_tolerance=args.ab_tie_tolerance,
+                progress=progress,
+            )
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(report.render())
+        return 0 if report.equivalent else 1
     print(
         f"Running {len(configs)} configurations x {args.replicates} replicates "
         f"x {len(scheduler_keys)} schedulers ..."
     )
-    results = run_campaign(
-        configs,
-        scheduler_keys=scheduler_keys,
-        replicates=args.replicates,
-        base_seed=args.seed,
-        n_workers=args.workers,
-        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
-    )
+    try:
+        results = run_campaign(
+            configs,
+            scheduler_keys=scheduler_keys,
+            replicates=args.replicates,
+            base_seed=args.seed,
+            n_workers=args.workers,
+            progress=progress,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+        )
+    except ReproError as exc:
+        # Expected operator errors (existing journal without --resume,
+        # foreign checkpoint): a clean message, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.save_csv:
         path = save_records_csv(results, args.save_csv)
         print(f"raw records saved to {path}")

@@ -2,15 +2,20 @@
 
 * :mod:`repro.experiments.config` -- experiment configurations: the 162-point
   factorial design of Section 5.3 and the density sweep of Section 5.2.
-* :mod:`repro.experiments.runner` -- runs configurations (optionally in
-  parallel across processes) and collects per-run records.
+* :mod:`repro.experiments.runner` -- the campaign execution engine: streams
+  (configuration, replicate, scheduler) tasks over long-lived worker
+  processes (per-worker instance cache + resident solver backend), with
+  progress/ETA reporting and checkpoint/resume.
+* :mod:`repro.experiments.ab` -- the campaign-scale solver-backend A/B
+  harness (the equivalence gate behind the ``auto`` backend default).
 * :mod:`repro.experiments.statistics` -- per-instance normalization
   (degradation w.r.t. the best heuristic) and mean/SD/max aggregation.
 * :mod:`repro.experiments.tables` -- regenerates Tables 1-16.
 * :mod:`repro.experiments.figures` -- regenerates Figures 3(a) and 3(b).
 * :mod:`repro.experiments.overhead` -- the scheduling-overhead comparison of
   Section 5.3.
-* :mod:`repro.experiments.io` -- CSV/JSON persistence of result records.
+* :mod:`repro.experiments.io` -- CSV/JSON persistence of result records and
+  the streaming JSONL campaign checkpoints.
 """
 
 from repro.experiments.config import (
@@ -19,7 +24,16 @@ from repro.experiments.config import (
     paper_configurations,
     small_configurations,
 )
-from repro.experiments.runner import ExperimentResults, RunRecord, run_campaign, run_configuration
+from repro.experiments.runner import (
+    CampaignProgress,
+    CampaignTask,
+    ExperimentResults,
+    RunRecord,
+    campaign_tasks,
+    run_campaign,
+    run_configuration,
+)
+from repro.experiments.ab import BackendABReport, compare_record_sets, run_backend_ab
 from repro.experiments.statistics import AggregateRow, DegradationRecord, compute_degradations, summarize
 from repro.experiments.tables import (
     render_aggregate_table,
@@ -31,7 +45,13 @@ from repro.experiments.tables import (
 )
 from repro.experiments.figures import Figure3Point, figure3a, figure3b
 from repro.experiments.overhead import OverheadRecord, scheduling_overhead
-from repro.experiments.io import load_records_csv, save_records_csv, save_records_json
+from repro.experiments.io import (
+    CampaignCheckpoint,
+    load_records_csv,
+    load_records_json,
+    save_records_csv,
+    save_records_json,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -40,8 +60,14 @@ __all__ = [
     "small_configurations",
     "RunRecord",
     "ExperimentResults",
+    "CampaignTask",
+    "CampaignProgress",
+    "campaign_tasks",
     "run_configuration",
     "run_campaign",
+    "BackendABReport",
+    "compare_record_sets",
+    "run_backend_ab",
     "DegradationRecord",
     "AggregateRow",
     "compute_degradations",
@@ -57,7 +83,9 @@ __all__ = [
     "figure3b",
     "OverheadRecord",
     "scheduling_overhead",
+    "CampaignCheckpoint",
     "save_records_csv",
     "save_records_json",
     "load_records_csv",
+    "load_records_json",
 ]

@@ -57,8 +57,11 @@ class ExperimentConfig:
     plus three knobs of the replanning pipeline: the replan policy driving
     the on-line LP heuristics (a new scenario axis the paper only discusses
     qualitatively), the incremental/from-scratch LP toggle (used by the
-    overhead comparisons) and the LP solver backend (one-shot scipy vs the
-    persistent HiGHS backend with basis warm starts).
+    overhead comparisons) and the LP solver backend.  The backend defaults
+    to ``"auto"`` (the persistent HiGHS backend with basis warm starts when
+    bindings are available, validated at campaign scale by the A/B gate in
+    ``benchmarks/bench_campaign.py``); ``"scipy"`` remains the bit-stable
+    escape hatch reproducing the historical one-shot-linprog numbers.
     """
 
     name: str
@@ -71,7 +74,7 @@ class ExperimentConfig:
     max_jobs: int | None = None
     replan_policy: str = "on-arrival"
     incremental_lp: bool = True
-    solver_backend: str = "scipy"
+    solver_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -153,7 +156,7 @@ def paper_configurations(
     processors_per_cluster: int = DEFAULT_PROCESSORS_PER_CLUSTER,
     replan_policy: str = "on-arrival",
     incremental_lp: bool = True,
-    solver_backend: str = "scipy",
+    solver_backend: str = "auto",
 ) -> list[ExperimentConfig]:
     """The full factorial design of Section 5.3 (162 configurations by default)."""
     configs: list[ExperimentConfig] = []

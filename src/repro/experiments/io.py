@@ -1,21 +1,41 @@
-"""Persistence of experiment records (CSV / JSON).
+"""Persistence of experiment records (CSV / JSON / streaming JSONL checkpoints).
 
 Large campaigns are expensive; saving the raw :class:`RunRecord` rows allows
 re-aggregating tables and figures without re-running the simulations, and the
 benchmark harness uses these helpers to leave the regenerated tables next to
 the benchmark output.
+
+Failed runs carry NaN metrics.  JSON has no NaN literal (``json.dumps``
+would emit the invalid bare token ``NaN``), so every JSON-facing helper in
+this module serializes NaN as ``null`` and restores it on load.
+
+:class:`CampaignCheckpoint` is the streaming layer of the campaign execution
+engine (:func:`~repro.experiments.runner.run_campaign`): completed records
+are appended to a JSONL file the moment they finish, and a resumed campaign
+loads the file to skip every (configuration, replicate, scheduler) triple it
+already contains.  The format is append-only and kill-tolerant: a process
+dying mid-write leaves at most one truncated trailing line, which the loader
+discards.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import math
 from pathlib import Path
-from typing import Iterable
+from typing import IO, Iterable
 
-from repro.experiments.runner import ExperimentResults, RunRecord
+from repro.core.errors import ReproError
+from repro.experiments.runner import ExperimentResults, RunRecord, nan_to_none
 
-__all__ = ["save_records_csv", "load_records_csv", "save_records_json"]
+__all__ = [
+    "save_records_csv",
+    "load_records_csv",
+    "save_records_json",
+    "load_records_json",
+    "CampaignCheckpoint",
+]
 
 _FIELDS = [
     "config",
@@ -73,10 +93,232 @@ def load_records_csv(path: str | Path) -> ExperimentResults:
     return ExperimentResults(records)
 
 
+# -- JSON (NaN-safe) ----------------------------------------------------------------
+
+
+def record_to_jsonable(record: RunRecord) -> dict[str, object]:
+    """``record.as_dict()`` with NaN metrics mapped to ``None`` (JSON null).
+
+    The shared :func:`~repro.experiments.runner.nan_to_none` scan covers
+    every float value (no per-field list to keep in sync with
+    :class:`RunRecord`), so a newly added metric can never reach
+    ``json.dumps(..., allow_nan=False)`` as a bare NaN.
+    """
+    return nan_to_none(record.as_dict())
+
+
+def record_from_jsonable(values: dict[str, object]) -> RunRecord:
+    """Inverse of :func:`record_to_jsonable` (``null`` metrics become NaN).
+
+    No :class:`RunRecord` field is legitimately ``None``, so every null maps
+    back to NaN.
+    """
+    kwargs = {
+        field: math.nan if value is None else value
+        for field, value in values.items()
+    }
+    return RunRecord(**kwargs)  # type: ignore[arg-type]
+
+
 def save_records_json(results: ExperimentResults | Iterable[RunRecord], path: str | Path) -> Path:
-    """Write records to a JSON file (list of objects); returns the path."""
+    """Write records to a JSON file (list of objects); returns the path.
+
+    NaN metrics (failed runs) are written as ``null`` -- ``allow_nan=False``
+    guarantees the output is strict, standard JSON.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = [record.as_dict() for record in results]
-    path.write_text(json.dumps(payload, indent=2))
+    payload = [record_to_jsonable(record) for record in results]
+    path.write_text(json.dumps(payload, indent=2, allow_nan=False))
     return path
+
+
+def load_records_json(path: str | Path) -> ExperimentResults:
+    """Read records back from a JSON file produced by :func:`save_records_json`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    return ExperimentResults(record_from_jsonable(values) for values in payload)
+
+
+# -- streaming campaign checkpoints ---------------------------------------------------
+
+#: First-line marker identifying a campaign checkpoint file.
+_CHECKPOINT_KIND = "repro-campaign-checkpoint"
+_CHECKPOINT_VERSION = 1
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL journal of completed campaign tasks.
+
+    Line 1 is a header carrying the campaign metadata (base seed, scheduler
+    keys, configuration names); every further line is one completed task::
+
+        {"kind": "repro-campaign-checkpoint", "version": 1, "meta": {...}}
+        {"task": ["s03-d03-a30-rho0.75", 0, "swrpt"], "record": {...}}
+        ...
+
+    Records are flushed per line, so a killed campaign loses at most the
+    task that was mid-write (the loader skips a truncated trailing line).
+    Resuming validates the header metadata against the requested campaign --
+    a checkpoint written for a different seed, scheduler set or design
+    cannot be silently mixed in.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    # -- reading -------------------------------------------------------------------
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def effectively_empty(self) -> bool:
+        """True when the file is missing, empty, or is one truncated line.
+
+        A run killed *during the header write* leaves exactly one
+        unparseable fragment with no newline (lines are written atomically
+        with their terminator); such a file is as good as no checkpoint and
+        :meth:`open_append` starts it over, so a kill at any byte offset --
+        including the very first line -- leaves a resumable journal.  The
+        signature is deliberately narrow: any file containing a newline or
+        parseable JSON is *not* "empty" and is never silently truncated
+        (pointing ``--checkpoint`` at some unrelated existing file errors
+        out instead of destroying it).
+        """
+        if not self.path.exists():
+            return True
+        if self.path.stat().st_size == 0:
+            return True
+        # Cheap pre-check: any newline in the first block rules a fragment
+        # out without reading a potentially huge journal.  Only a file with
+        # no newline at all falls through to the full read -- by
+        # construction that is at most one (possibly large) line.
+        with self.path.open("rb") as handle:
+            if b"\n" in handle.read(65536):
+                return False
+        content = self.path.read_text()
+        return "\n" not in content and self._parse_line(content) is None
+
+    def load(
+        self, *, expect_meta: dict[str, object] | None = None
+    ) -> dict[tuple[str, int, str], RunRecord]:
+        """The completed records keyed by (config, replicate, scheduler key).
+
+        ``expect_meta``, when given, is compared against the header written
+        at campaign start; any difference raises :class:`ReproError` (the
+        checkpoint belongs to a different campaign).
+        """
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return {}
+        content = self.path.read_text()
+        if "\n" not in content and self._parse_line(content) is None:
+            # A lone truncated header fragment (same signature as
+            # :meth:`effectively_empty`, on the already-read content):
+            # nothing to restore, and open_append() starts the file over.
+            return {}
+        entries = [self._parse_line(line) for line in content.splitlines()]
+        if not entries:
+            return {}
+        header = entries[0]
+        if (
+            header is None
+            or header.get("kind") != _CHECKPOINT_KIND
+            or header.get("version") != _CHECKPOINT_VERSION
+        ):
+            raise ReproError(
+                f"{self.path} is not a campaign checkpoint (bad or missing header)"
+            )
+        if expect_meta is not None and header.get("meta") != expect_meta:
+            raise ReproError(
+                f"checkpoint {self.path} was written for a different campaign "
+                f"(seed/schedulers/design mismatch): {header.get('meta')!r} "
+                f"vs requested {expect_meta!r}"
+            )
+        done: dict[tuple[str, int, str], RunRecord] = {}
+        for entry in entries[1:]:
+            if entry is None:  # truncated trailing line from a killed run
+                continue
+            task, record = entry.get("task"), entry.get("record")
+            if task is None or record is None:
+                # Not a task line (e.g. the header of a naively concatenated
+                # chunk journal); harmless to skip.
+                continue
+            try:
+                config, replicate, scheduler_key = task
+                done[(config, int(replicate), scheduler_key)] = (
+                    record_from_jsonable(record)
+                )
+            except (TypeError, ValueError):
+                # Malformed entry (wrong task arity, unexpected record
+                # fields): treat like a truncated line and recompute it.
+                continue
+        return done
+
+    @staticmethod
+    def _parse_line(line: str) -> dict | None:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    # -- writing -------------------------------------------------------------------
+    def open_append(self, meta: dict[str, object]) -> None:
+        """Open the journal for appending, writing the header on a new file.
+
+        A file holding nothing parseable (typically a header truncated by a
+        kill) is started over; a populated file killed mid-record gets its
+        truncated trailing line sealed with a newline so the next append
+        starts on its own line (the sealed fragment stays unparseable and
+        is skipped by :meth:`load`).
+        """
+        if self._handle is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.effectively_empty():
+            self._handle = self.path.open("w")
+            self._write_line(
+                {
+                    "kind": _CHECKPOINT_KIND,
+                    "version": _CHECKPOINT_VERSION,
+                    "meta": meta,
+                }
+            )
+            return
+        with self.path.open("rb") as handle:
+            handle.seek(-1, 2)
+            sealed = handle.read(1) == b"\n"
+        if not sealed:
+            with self.path.open("a") as handle:
+                handle.write("\n")
+        self._handle = self.path.open("a")
+
+    def append(self, scheduler_key: str, record: RunRecord) -> None:
+        """Journal one completed task (requires :meth:`open_append` first)."""
+        if self._handle is None:
+            raise ReproError("checkpoint is not open for appending")
+        self._write_line(
+            {
+                "task": [record.config, record.replicate, scheduler_key],
+                "record": record_to_jsonable(record),
+            }
+        )
+
+    def _write_line(self, payload: dict[str, object]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(payload, allow_nan=False) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -83,6 +83,13 @@ def scheduling_overhead(
     of the on-line LP heuristics, so the overhead tables can compare
     cadences, the incremental vs from-scratch LP paths, and the scipy vs
     persistent-HiGHS solver backends.
+
+    ``solver_backend`` stays pinned to ``"scipy"`` here even though the
+    campaign surface defaults to ``"auto"``: the overhead regression gates
+    in ``benchmarks/bench_overhead.py`` track the historical one-shot-scipy
+    reference path so their trajectory stays comparable across PRs and
+    environments with/without HiGHS bindings (the CLI threads the session's
+    ``--solver-backend`` through explicitly).
     """
     config = ExperimentConfig(
         name="overhead",

@@ -1,32 +1,98 @@
-"""Experiment runner: simulate heuristics over randomized configurations.
+"""Campaign execution engine: streaming work distribution over long-lived workers.
 
-The runner realizes, for each :class:`~repro.experiments.config.ExperimentConfig`
-and each replicate, a random instance (platform + workload), runs every
-requested scheduler on it, and records the raw metrics.  Replicates can be
-distributed over a process pool (`n_workers > 1`); each worker regenerates
-its instance from the configuration and a derived seed, so nothing heavy is
-pickled and results are reproducible regardless of the degree of parallelism.
+The paper's Section 5.3 evidence is a factorial campaign of 162
+configurations x 200 replicates (~32 000 instances, ~320 000 scheduler
+runs).  This module carries campaigns of that scale by splitting the work
+into *(configuration, replicate, scheduler)* task units and streaming them
+through a pool of long-lived worker processes:
+
+* **Task granularity.**  One task = one scheduler on one instance, so a slow
+  LP scheduler on a 20-cluster instance cannot hold the cheap list
+  heuristics of the same replicate hostage, and the pool stays busy until
+  the very last task.
+* **Per-worker instance cache.**  Instances are realized from the derived
+  seed inside the worker and kept in a small LRU keyed by
+  ``(configuration, replicate, seed)``; the schedulers of one replicate are
+  adjacent in task order, so each worker typically generates every instance
+  it touches exactly once.  Nothing heavy is ever pickled.
+* **Worker-resident solver backend.**  Each worker owns one long-lived
+  :class:`~repro.lp.backends.SolverBackend` per backend name, resolved once
+  (bindings import, option tables) and injected into every LP scheduler the
+  worker runs.  Per-run solver state (live models, transplanted bases) is
+  still scoped to the run -- :class:`~repro.lp.incremental.ReplanContext`
+  empties the backend at run start -- which is exactly what keeps a sharded
+  campaign *bit-identical* to the serial one: results can never depend on
+  which tasks previously shared a worker.
+* **Streaming collection.**  Tasks are submitted through a bounded in-flight
+  window and collected as they complete (no head-of-line blocking, bounded
+  memory); each completed record is appended to an optional
+  :class:`~repro.experiments.io.CampaignCheckpoint` so a killed campaign can
+  be resumed without recomputing finished triples.  The returned record list
+  is always in canonical task order, independent of completion order and of
+  ``n_workers``.
 """
 
 from __future__ import annotations
 
+import json
 import math
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass, field
-from typing import Callable, Iterable, Mapping, Sequence
+import time
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
+from repro.lp.backends import SolverBackend, make_backend, resolve_backend_name
 from repro.schedulers.registry import make_scheduler, paper_schedulers
 from repro.simulation.engine import simulate
 from repro.utils.seeding import derive_seed
 from repro.workload.generator import generate_instance
 
-__all__ = ["RunRecord", "ExperimentResults", "run_configuration", "run_campaign"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.io import CampaignCheckpoint
+
+__all__ = [
+    "RunRecord",
+    "ExperimentResults",
+    "CampaignTask",
+    "CampaignProgress",
+    "campaign_tasks",
+    "run_configuration",
+    "run_campaign",
+]
 
 #: Default scheduler set: the paper's Table 1 strategies minus Bender98 (whose
 #: overhead restricted it to the smallest platforms even in the paper).
 DEFAULT_SCHEDULERS: tuple[str, ...] = tuple(paper_schedulers(include_bender98=False))
+
+#: In-flight submissions per worker.  Large enough that a worker finishing a
+#: cheap task never idles waiting for the collector, small enough that a
+#: 32k-task campaign does not materialize all its futures at once.
+_IN_FLIGHT_PER_WORKER = 4
+
+#: Instances kept alive per worker.  Task order is scheduler-innermost, so a
+#: worker normally alternates between at most a handful of live instances
+#: even when the pool steals tasks across replicate boundaries.
+_INSTANCE_CACHE_SIZE = 8
+
+
+def nan_to_none(values: dict[str, object]) -> dict[str, object]:
+    """A copy of ``values`` with non-finite floats replaced by ``None``.
+
+    The single normalization rule shared by :meth:`RunRecord.result_dict`
+    and the JSON persistence layer (:mod:`repro.experiments.io`): NaN and
+    the infinities have no strict-JSON literal (every sink dumps with
+    ``allow_nan=False``), and NaN compares unequal to itself across pickle
+    boundaries, so no non-finite value ever leaves a record as a bare
+    float.
+    """
+    return {
+        key: None if isinstance(value, float) and not math.isfinite(value) else value
+        for key, value in values.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -51,6 +117,21 @@ class RunRecord:
 
     def as_dict(self) -> dict[str, object]:
         return asdict(self)
+
+    def result_dict(self) -> dict[str, object]:
+        """The deterministic result fields (drops the wall-clock measurement).
+
+        ``scheduler_time`` is a timing *measurement*, not a simulation
+        result, so it is excluded from the bit-identity comparisons between
+        serial and sharded campaign runs.  NaN metrics (failed runs) are
+        mapped to ``None``: NaN compares unequal to itself once a record has
+        crossed a pickle/JSON boundary (dict equality only short-circuits on
+        object identity), which would make identically-failed runs look
+        different.
+        """
+        values = asdict(self)
+        del values["scheduler_time"]
+        return nan_to_none(values)
 
 
 class ExperimentResults:
@@ -98,64 +179,213 @@ class ExperimentResults:
             seen.setdefault((record.config, record.replicate), None)
         return list(seen)
 
+    def result_set(self) -> list[dict[str, object]]:
+        """Order-independent deterministic view of the record set.
 
-def _run_single_replicate(
+        Sorted by (configuration, replicate, scheduler) with the timing
+        measurements dropped; two campaign runs over the same design are
+        *bit-identical* exactly when their ``result_set()`` compare equal,
+        regardless of worker count or completion order.
+        """
+        return sorted(
+            (record.result_dict() for record in self.records),
+            key=lambda d: (d["config"], d["replicate"], d["scheduler"]),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One unit of campaign work: one scheduler on one realized instance."""
+
+    config: ExperimentConfig
+    replicate: int
+    scheduler_key: str
+    seed: int
+
+    @property
+    def triple(self) -> tuple[str, int, str]:
+        """The (configuration name, replicate, scheduler key) identity."""
+        return (self.config.name, self.replicate, self.scheduler_key)
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Progress snapshot handed to the ``progress`` callback after each task.
+
+    ``rate`` and ``eta_seconds`` are computed over the tasks executed in
+    *this* process invocation (checkpoint-restored tasks are excluded so a
+    resumed campaign does not report a fantasy throughput).
+    """
+
+    completed: int
+    total: int
+    triple: tuple[str, int, str]
+    elapsed_seconds: float
+    rate: float
+    eta_seconds: float
+
+    def __str__(self) -> str:
+        config, replicate, scheduler = self.triple
+        return (
+            f"[{self.completed}/{self.total}] {config} r{replicate} {scheduler} "
+            f"({self.rate:.1f} tasks/s, eta {self.eta_seconds:.0f}s)"
+        )
+
+
+def campaign_tasks(
+    configs: Sequence[ExperimentConfig],
+    scheduler_keys: Sequence[str] = DEFAULT_SCHEDULERS,
+    replicates: int = 5,
+    base_seed: int = 2006,
+) -> list[CampaignTask]:
+    """The campaign's task list in canonical order.
+
+    Scheduler-innermost, so the tasks sharing one realized instance are
+    adjacent (maximizing the per-worker instance-cache hit rate) and the
+    canonical record order matches the historical serial runner.
+    """
+    tasks: list[CampaignTask] = []
+    for config in configs:
+        for replicate in range(replicates):
+            seed = derive_seed(base_seed, config.name, replicate)
+            for key in scheduler_keys:
+                tasks.append(CampaignTask(config, replicate, key, seed))
+    return tasks
+
+
+# -- per-worker state ---------------------------------------------------------------
+
+
+class _WorkerState:
+    """Long-lived state owned by one worker process (or the serial caller).
+
+    Holds the instance LRU and one resolved solver backend per backend name.
+    The backend *handle* (imported bindings, model cache object, counters)
+    survives across tasks; per-run solver state is emptied by the schedulers
+    at run start, so sharing a worker never changes a task's result.
+    """
+
+    def __init__(self, *, instance_cache_size: int = _INSTANCE_CACHE_SIZE):
+        self._instance_cache_size = max(1, int(instance_cache_size))
+        self._instances: OrderedDict[tuple, object] = OrderedDict()
+        self._backends: dict[str, SolverBackend] = {}
+        #: Exposed for tests/benchmarks: instance generations vs cache hits.
+        self.n_instance_builds = 0
+        self.n_instance_hits = 0
+
+    def instance_for(self, config: ExperimentConfig, seed: int):
+        """The realized instance of (config, derived seed), generated once.
+
+        Keyed by the instance-shaping inputs themselves -- the platform and
+        workload specs plus the derived seed -- so two configurations that
+        merely share a name (e.g. across separate campaigns run in the same
+        process) can never alias each other's instances.
+        """
+        key = (config.platform_spec(), config.workload_spec(), seed)
+        instance = self._instances.get(key)
+        if instance is None:
+            instance = generate_instance(key[0], key[1], rng=seed)
+            self._instances[key] = instance
+            self.n_instance_builds += 1
+        else:
+            self.n_instance_hits += 1
+        self._instances.move_to_end(key)
+        while len(self._instances) > self._instance_cache_size:
+            self._instances.popitem(last=False)
+        return instance
+
+    def backend_for(self, spec: object) -> object:
+        """Resolve a backend spec to this worker's resident instance.
+
+        Names are resolved through :func:`~repro.lp.backends.make_backend`
+        once and cached, so every LP scheduler this worker runs shares the
+        same live backend handle.  Non-string specs (``None`` or an explicit
+        :class:`~repro.lp.backends.SolverBackend`) pass through untouched.
+        """
+        if not isinstance(spec, str):
+            return spec
+        backend = self._backends.get(spec)
+        if backend is None:
+            backend = make_backend(spec)
+            self._backends[spec] = backend
+        return backend
+
+    def close(self) -> None:
+        self._instances.clear()
+        for backend in self._backends.values():
+            backend.close()
+        self._backends.clear()
+
+
+_WORKER: _WorkerState | None = None
+
+
+def _worker_state() -> _WorkerState:
+    """The calling process's :class:`_WorkerState` (created on first use)."""
+    global _WORKER
+    if _WORKER is None:
+        _WORKER = _WorkerState()
+    return _WORKER
+
+
+def _init_worker() -> None:
+    """Pool initializer: give the worker its long-lived state up front."""
+    _worker_state()
+
+
+def _run_task(
     config: ExperimentConfig,
     replicate: int,
-    scheduler_keys: Sequence[str],
+    scheduler_key: str,
     seed: int,
     scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
-) -> list[RunRecord]:
-    """Worker body: generate one instance, run every scheduler on it."""
-    instance = generate_instance(
-        config.platform_spec(), config.workload_spec(), rng=seed
-    )
-    records: list[RunRecord] = []
-    for key in scheduler_keys:
-        # Configuration-level replanning knobs first, then explicit per-key
-        # options so callers can still override them.
-        options = config.scheduler_options_for(key)
-        options.update((scheduler_options or {}).get(key, {}))
-        scheduler = make_scheduler(key, **options)
-        failed = False
-        try:
-            result = simulate(instance, scheduler)
-            metrics = result.report()
-            values = dict(
-                max_stretch=metrics.max_stretch,
-                sum_stretch=metrics.sum_stretch,
-                max_flow=metrics.max_flow,
-                sum_flow=metrics.sum_flow,
-                makespan=metrics.makespan,
-                scheduler_time=result.scheduler_time,
-            )
-        except ReproError:
-            # A scheduler failure (e.g. an LP numerical breakdown on a corner
-            # case) is recorded instead of aborting the whole campaign.
-            failed = True
-            values = dict(
-                max_stretch=math.nan,
-                sum_stretch=math.nan,
-                max_flow=math.nan,
-                sum_flow=math.nan,
-                makespan=math.nan,
-                scheduler_time=math.nan,
-            )
-        records.append(
-            RunRecord(
-                config=config.name,
-                replicate=replicate,
-                scheduler=scheduler.name,
-                n_jobs=instance.n_jobs,
-                n_clusters=config.n_clusters,
-                n_databanks=config.n_databanks,
-                availability=config.availability,
-                density=config.density,
-                failed=failed,
-                **values,
-            )
+) -> RunRecord:
+    """Worker body: run one scheduler on the (cached) realized instance."""
+    state = _worker_state()
+    instance = state.instance_for(config, seed)
+    # Configuration-level replanning knobs first, then explicit per-key
+    # options so callers can still override them.
+    options = config.scheduler_options_for(scheduler_key)
+    options.update((scheduler_options or {}).get(scheduler_key, {}))
+    if "solver_backend" in options:
+        options["solver_backend"] = state.backend_for(options["solver_backend"])
+    scheduler = make_scheduler(scheduler_key, **options)
+    failed = False
+    try:
+        result = simulate(instance, scheduler)
+        metrics = result.report()
+        values = dict(
+            max_stretch=metrics.max_stretch,
+            sum_stretch=metrics.sum_stretch,
+            max_flow=metrics.max_flow,
+            sum_flow=metrics.sum_flow,
+            makespan=metrics.makespan,
+            scheduler_time=result.scheduler_time,
         )
-    return records
+    except ReproError:
+        # A scheduler failure (e.g. an LP numerical breakdown on a corner
+        # case) is recorded instead of aborting the whole campaign.
+        failed = True
+        values = dict(
+            max_stretch=math.nan,
+            sum_stretch=math.nan,
+            max_flow=math.nan,
+            sum_flow=math.nan,
+            makespan=math.nan,
+            scheduler_time=math.nan,
+        )
+    return RunRecord(
+        config=config.name,
+        replicate=replicate,
+        scheduler=scheduler.name,
+        n_jobs=instance.n_jobs,
+        n_clusters=config.n_clusters,
+        n_databanks=config.n_databanks,
+        availability=config.availability,
+        density=config.density,
+        failed=failed,
+        **values,
+    )
 
 
 def run_configuration(
@@ -166,14 +396,67 @@ def run_configuration(
     base_seed: int = 2006,
     scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
 ) -> ExperimentResults:
-    """Run one configuration for the requested number of replicates (serial)."""
-    results = ExperimentResults()
-    for replicate in range(replicates):
-        seed = derive_seed(base_seed, config.name, replicate)
-        results.extend(
-            _run_single_replicate(config, replicate, scheduler_keys, seed, scheduler_options)
-        )
-    return results
+    """Run one configuration for the requested number of replicates (serial).
+
+    A thin wrapper over :func:`run_campaign` with a single configuration, so
+    both entry points share one worker-state lifecycle.
+    """
+    return run_campaign(
+        [config],
+        scheduler_keys=scheduler_keys,
+        replicates=replicates,
+        base_seed=base_seed,
+        scheduler_options=scheduler_options,
+    )
+
+
+class _CampaignRun:
+    """Bookkeeping of one :func:`run_campaign` invocation (streaming collection)."""
+
+    def __init__(
+        self,
+        tasks: Sequence[CampaignTask],
+        checkpoint: "CampaignCheckpoint | None",
+        progress: Callable[[CampaignProgress], None] | None,
+    ):
+        self.tasks = tasks
+        self.checkpoint = checkpoint
+        self.progress = progress
+        self.slots: list[RunRecord | None] = [None] * len(tasks)
+        self.completed = 0
+        self.completed_live = 0
+        self.started = time.perf_counter()
+
+    def restore(self, index: int, record: RunRecord) -> None:
+        """Adopt a checkpoint-restored record (not re-announced per task)."""
+        self.slots[index] = record
+        self.completed += 1
+
+    def finish(self, index: int, record: RunRecord) -> None:
+        """Adopt a freshly computed record: store, checkpoint, announce."""
+        self.slots[index] = record
+        if self.checkpoint is not None:
+            self.checkpoint.append(self.tasks[index].scheduler_key, record)
+        self.completed += 1
+        self.completed_live += 1
+        if self.progress is not None:
+            elapsed = time.perf_counter() - self.started
+            rate = self.completed_live / elapsed if elapsed > 0 else 0.0
+            remaining = len(self.tasks) - self.completed
+            self.progress(
+                CampaignProgress(
+                    completed=self.completed,
+                    total=len(self.tasks),
+                    triple=self.tasks[index].triple,
+                    elapsed_seconds=elapsed,
+                    rate=rate,
+                    eta_seconds=remaining / rate if rate > 0 else math.inf,
+                )
+            )
+
+    def results(self) -> ExperimentResults:
+        assert all(record is not None for record in self.slots)
+        return ExperimentResults(self.slots)  # type: ignore[arg-type]
 
 
 def run_campaign(
@@ -184,7 +467,10 @@ def run_campaign(
     base_seed: int = 2006,
     n_workers: int = 1,
     scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
-    progress: Callable[[str], None] | None = None,
+    progress: Callable[[CampaignProgress], None] | None = None,
+    checkpoint: "CampaignCheckpoint | str | Path | None" = None,
+    resume: bool = False,
+    max_in_flight: int | None = None,
 ) -> ExperimentResults:
     """Run a whole campaign (all configurations x replicates x schedulers).
 
@@ -201,42 +487,169 @@ def run_campaign(
         always sees the same instance.
     n_workers:
         Number of worker processes.  ``1`` (default) runs everything in the
-        calling process; larger values distribute (configuration, replicate)
-        pairs over a :class:`concurrent.futures.ProcessPoolExecutor`.
+        calling process; larger values stream (configuration, replicate,
+        scheduler) tasks over a :class:`concurrent.futures.ProcessPoolExecutor`
+        whose workers keep their instance cache and solver backend alive
+        across tasks.  The returned record set is bit-identical (up to the
+        ``scheduler_time`` measurement) for every worker count.
     scheduler_options:
         Optional per-scheduler-key constructor options (e.g.
-        ``{"bender98": {"max_jobs_per_resolution": 30}}``).
+        ``{"bender98": {"max_jobs_per_resolution": 30}}``).  Must be
+        picklable when ``n_workers > 1``.
     progress:
-        Optional callback invoked with a short message after each completed
-        (configuration, replicate) pair.
+        Optional callback invoked with a :class:`CampaignProgress` (renders
+        as a short ``[done/total] ... eta`` message) after each completed
+        task.
+    checkpoint:
+        Optional :class:`~repro.experiments.io.CampaignCheckpoint` (or a
+        path) to which completed records are appended as they stream in.
+    resume:
+        With a ``checkpoint`` whose file already exists, load it and skip
+        every (configuration, replicate, scheduler) triple it already
+        contains.  Without ``resume``, an existing checkpoint file is an
+        error (never silently overwritten or duplicated).
+    max_in_flight:
+        Bound on concurrently submitted tasks (default: 4 per worker).
     """
-    tasks = []
-    for config in configs:
-        for replicate in range(replicates):
-            seed = derive_seed(base_seed, config.name, replicate)
-            tasks.append((config, replicate, seed))
+    tasks = campaign_tasks(configs, scheduler_keys, replicates, base_seed)
 
-    results = ExperimentResults()
-    if n_workers <= 1:
-        for config, replicate, seed in tasks:
-            records = _run_single_replicate(
-                config, replicate, scheduler_keys, seed, scheduler_options
+    ckpt: "CampaignCheckpoint | None" = None
+    restored: dict[tuple[str, int, str], RunRecord] = {}
+    if checkpoint is not None:
+        # The journal identifies work by triple, so a checkpointed design
+        # must be triple-unique; plain runs tolerate duplicates (they just
+        # produce duplicate records, as the historical runner did).
+        if len({task.triple for task in tasks}) != len(tasks):
+            raise ReproError(
+                "campaign design contains duplicate (config, replicate, "
+                "scheduler) triples: configuration names and scheduler keys "
+                "must each be unique when checkpointing"
             )
-            results.extend(records)
-            if progress is not None:
-                progress(f"{config.name} replicate {replicate} done")
-        return results
+        # Imported here: experiments.io imports RunRecord from this module.
+        from repro.experiments.io import CampaignCheckpoint
 
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        futures = [
-            pool.submit(
-                _run_single_replicate, config, replicate, tuple(scheduler_keys), seed,
-                scheduler_options,
+        ckpt = (
+            checkpoint
+            if isinstance(checkpoint, CampaignCheckpoint)
+            else CampaignCheckpoint(checkpoint)
+        )
+        # The full design, not just names: two campaigns sharing config
+        # names but differing in window/max_jobs/replan knobs produce
+        # different records, and resuming across them must be rejected.
+        # Backends are recorded *resolved* ("auto" -> what actually runs
+        # here), so a journal started without HiGHS bindings cannot be
+        # silently continued with them (or vice versa).
+        meta = {
+            "base_seed": int(base_seed),
+            "replicates": int(replicates),
+            "scheduler_keys": list(scheduler_keys),
+            "configs": [config.as_dict() for config in configs],
+            "resolved_backends": sorted(
+                {resolve_backend_name(config.solver_backend) for config in configs}
+            ),
+            "scheduler_options": (
+                {key: dict(value) for key, value in scheduler_options.items()}
+                if scheduler_options
+                else None
+            ),
+        }
+        # Normalize through JSON so the comparison against a reloaded header
+        # cannot reject its own campaign (e.g. tuples becoming lists).
+        try:
+            meta = json.loads(json.dumps(meta, allow_nan=False))
+        except (TypeError, ValueError) as exc:
+            raise ReproError(
+                "campaign checkpoints require JSON-serializable "
+                f"scheduler_options: {exc}"
+            ) from None
+        # A file holding nothing restorable (missing, empty, or a header
+        # truncated by a kill) is started over; only a populated journal
+        # demands the explicit resume opt-in.
+        if resume:
+            restored = ckpt.load(expect_meta=meta)  # {} when nothing restorable
+        elif not ckpt.effectively_empty():
+            raise ReproError(
+                f"checkpoint {ckpt.path} already exists; pass resume=True "
+                "(CLI: --resume) to continue it, or remove the file"
             )
-            for config, replicate, seed in tasks
-        ]
-        for (config, replicate, _), future in zip(tasks, futures):
-            results.extend(future.result())
-            if progress is not None:
-                progress(f"{config.name} replicate {replicate} done")
-    return results
+        ckpt.open_append(meta)
+    elif resume:
+        raise ReproError("resume=True requires a checkpoint")
+
+    run = _CampaignRun(tasks, ckpt, progress)
+    pending: list[int] = []
+    for i, task in enumerate(tasks):
+        record = restored.get(task.triple)
+        if record is not None:
+            run.restore(i, record)
+        else:
+            pending.append(i)
+
+    try:
+        if n_workers <= 1:
+            try:
+                for i in pending:
+                    task = tasks[i]
+                    run.finish(
+                        i,
+                        _run_task(
+                            task.config, task.replicate, task.scheduler_key,
+                            task.seed, scheduler_options,
+                        ),
+                    )
+            finally:
+                # Pool workers die with the pool; the serial path runs in the
+                # caller's process, so drop the cached instances and live
+                # solver models instead of pinning them until process exit.
+                if _WORKER is not None:
+                    _WORKER.close()
+        elif pending:  # a fully-restored resume never pays for a pool
+            window = (
+                max_in_flight
+                if max_in_flight is not None
+                else n_workers * _IN_FLIGHT_PER_WORKER
+            )
+            _run_pooled(run, pending, n_workers, scheduler_options, window)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
+    return run.results()
+
+
+def _run_pooled(
+    run: _CampaignRun,
+    pending: Sequence[int],
+    n_workers: int,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None,
+    max_in_flight: int,
+) -> None:
+    """Stream ``pending`` task indices through a process pool.
+
+    Submission is windowed (bounded memory: at most ``max_in_flight`` live
+    futures) and collection uses ``wait(FIRST_COMPLETED)``, so records are
+    checkpointed and reported the moment they finish -- a straggler task
+    blocks neither the progress stream nor the submission of new work.
+    """
+    tasks = run.tasks
+    iterator = iter(pending)
+    in_flight: dict[object, int] = {}
+    with ProcessPoolExecutor(max_workers=n_workers, initializer=_init_worker) as pool:
+
+        def submit_next() -> None:
+            index = next(iterator, None)
+            if index is not None:
+                task = tasks[index]
+                future = pool.submit(
+                    _run_task, task.config, task.replicate, task.scheduler_key,
+                    task.seed, scheduler_options,
+                )
+                in_flight[future] = index
+
+        for _ in range(max(1, max_in_flight)):
+            submit_next()
+        while in_flight:
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = in_flight.pop(future)
+                submit_next()
+                run.finish(index, future.result())

@@ -46,6 +46,7 @@ __all__ = [
     "available_backends",
     "make_backend",
     "default_backend",
+    "resolve_backend_name",
 ]
 
 #: Names accepted by :func:`make_backend` and the ``--solver-backend`` flag.
@@ -66,6 +67,27 @@ def available_backends() -> tuple[str, ...]:
     return ("scipy", "highs") if highs_available() else ("scipy",)
 
 
+def resolve_backend_name(spec: "str | SolverBackend | None" = None) -> str:
+    """The concrete backend name ``spec`` resolves to in this environment.
+
+    ``"auto"`` resolves to ``"highs"`` when bindings are available and
+    ``"scipy"`` otherwise; ``None`` means ``"scipy"`` (mirroring
+    :func:`make_backend`); concrete names and backend instances report
+    themselves.  Used by the backend A/B harness and the CLI to label
+    results with the backend that actually ran.
+    """
+    if isinstance(spec, SolverBackend):
+        return spec.name
+    name = "scipy" if spec is None else str(spec).lower()
+    if name == "auto":
+        return "highs" if highs_available() else "scipy"
+    if name in ("scipy", "highs"):
+        return name
+    raise SolverError(
+        f"unknown solver backend {spec!r}; choose from {', '.join(BACKEND_CHOICES)}"
+    )
+
+
 def make_backend(spec: "str | SolverBackend | None" = None) -> SolverBackend:
     """Resolve a backend from a name, an instance, or ``None``.
 
@@ -77,17 +99,12 @@ def make_backend(spec: "str | SolverBackend | None" = None) -> SolverBackend:
       scipy backend otherwise;
     * a :class:`SolverBackend` instance -- returned unchanged.
     """
-    if spec is None:
-        return _SCIPY_SINGLETON
     if isinstance(spec, SolverBackend):
         return spec
-    name = str(spec).lower()
-    if name == "scipy":
+    # One name-resolution chain for the whole package: a spec that
+    # resolve_backend_name accepts is exactly one make_backend can build.
+    # 'highs' resolves to itself even without bindings -- the constructor
+    # raises the descriptive SolverError for an explicit request.
+    if resolve_backend_name(spec) == "scipy":
         return _SCIPY_SINGLETON
-    if name == "highs":
-        return HighsPersistentBackend()
-    if name == "auto":
-        return HighsPersistentBackend() if highs_available() else _SCIPY_SINGLETON
-    raise SolverError(
-        f"unknown solver backend {spec!r}; choose from {', '.join(BACKEND_CHOICES)}"
-    )
+    return HighsPersistentBackend()

@@ -32,12 +32,26 @@ class TestParser:
 
     def test_solver_backend_flag(self):
         for sub in ("simulate", "campaign", "overhead"):
+            # 'auto' is the default since the campaign-scale A/B gate passed;
+            # 'scipy' stays available as the bit-stable escape hatch.
             args = build_parser().parse_args([sub])
-            assert args.solver_backend == "scipy"
-            args = build_parser().parse_args([sub, "--solver-backend", "auto"])
             assert args.solver_backend == "auto"
+            args = build_parser().parse_args([sub, "--solver-backend", "scipy"])
+            assert args.solver_backend == "scipy"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--solver-backend", "cplex"])
+
+    def test_campaign_engine_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "--checkpoint", "ck.jsonl", "--resume", "--workers", "4"]
+        )
+        assert args.checkpoint == "ck.jsonl"
+        assert args.resume
+        assert args.workers == 4
+        args = build_parser().parse_args(["campaign", "--ab-backends"])
+        assert args.ab_backends
+        assert args.ab_tolerance == 1e-6
+        assert args.ab_tie_tolerance == 0.10
 
 
 class TestCommands:
@@ -129,6 +143,62 @@ class TestCommands:
         assert code == 0
         assert "Table 1" in out
         assert csv_path.exists()
+
+    def test_campaign_checkpoint_resume(self, capsys, tmp_path):
+        ck = tmp_path / "ck.jsonl"
+        args = [
+            "campaign",
+            "--replicates", "1",
+            "--sites", "2",
+            "--databanks", "2",
+            "--availabilities", "0.6",
+            "--densities", "1.0",
+            "--window", "12",
+            "--max-jobs", "5",
+            "--schedulers", "swrpt", "mct",
+            "--checkpoint", str(ck),
+        ]
+        assert main(args) == 0
+        assert ck.exists()
+        # Rerunning without --resume refuses to touch the existing journal
+        # (clean operator error, not a traceback).
+        assert main(args) == 2
+        assert "--resume" in capsys.readouterr().err
+        # With --resume everything is restored; Table 1 is still printed.
+        assert main(args + ["--resume"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_campaign_resume_requires_checkpoint(self, capsys):
+        code = main(["campaign", "--resume", "--max-jobs", "3"])
+        assert code == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+    def test_campaign_ab_backends_rejects_record_sinks(self, capsys):
+        code = main(
+            ["campaign", "--ab-backends", "--checkpoint", "x.jsonl", "--max-jobs", "3"]
+        )
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_campaign_ab_backends(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--ab-backends",
+                "--replicates", "1",
+                "--sites", "2",
+                "--databanks", "2",
+                "--availabilities", "0.6",
+                "--densities", "1.0",
+                "--window", "12",
+                "--max-jobs", "5",
+                "--schedulers", "online", "swrpt",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Backend A/B" in out
+        assert "VERDICT: equivalent" in out
 
     def test_theorem1_command(self, capsys):
         code = main(["theorem1", "--delta", "4", "--unit-jobs", "12",

@@ -62,11 +62,14 @@ class TestExperimentConfig:
             self.make(density=0.0)
 
     def test_solver_backend_default_and_validation(self):
+        # 'auto' became the default once the campaign-scale A/B gate
+        # (benchmarks/bench_campaign.py) confirmed the equivalence margins;
+        # 'scipy' remains the bit-stable escape hatch.
         config = self.make()
-        assert config.solver_backend == "scipy"
-        assert config.as_dict()["solver_backend"] == "scipy"
+        assert config.solver_backend == "auto"
+        assert config.as_dict()["solver_backend"] == "auto"
         assert self.make(solver_backend="highs").solver_backend == "highs"
-        assert self.make(solver_backend="auto").solver_backend == "auto"
+        assert self.make(solver_backend="scipy").solver_backend == "scipy"
         with pytest.raises(ModelError):
             self.make(solver_backend="cplex")
 
