@@ -1,4 +1,4 @@
-"""Campaign execution engine benchmark: sharding speedup + backend A/B gate.
+"""Campaign engine benchmarks: sharding speedup, backend A/B, merge throughput.
 
 Two enforced properties of :func:`repro.experiments.runner.run_campaign`:
 
@@ -18,9 +18,15 @@ Two enforced properties of :func:`repro.experiments.runner.run_campaign`:
   size).  This is the campaign-scale evidence behind the
   ``--solver-backend`` default flip from ``scipy`` to ``auto``.
 
-Both write into ``benchmarks/_artifacts/BENCH_campaign.json`` (uploaded by
-CI) so the campaign throughput trajectory -- wall-clock, records/sec, worker
-count -- is tracked across PRs.
+A third measurement covers the distribution layer: merging N shard
+journals of a paper-shaped design (162 configurations x 10 schedulers)
+back into one validated record set must stay cheap relative to computing
+the records -- the merge job is the serial tail of every sharded CI
+campaign, so its records/sec throughput is tracked alongside.
+
+All three write into ``benchmarks/_artifacts/BENCH_campaign.json``
+(uploaded by CI) so the campaign throughput trajectory -- wall-clock,
+records/sec, worker count, merge rate -- is tracked across PRs.
 """
 
 from __future__ import annotations
@@ -32,8 +38,16 @@ import time
 import pytest
 
 from repro.experiments.ab import run_backend_ab
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_campaign
+from repro.experiments.config import ExperimentConfig, paper_configurations
+from repro.experiments.io import CampaignCheckpoint
+from repro.experiments.merge import merge_journals
+from repro.experiments.runner import (
+    RunRecord,
+    campaign_meta,
+    campaign_tasks,
+    run_campaign,
+)
+from repro.experiments.sharding import ShardPlan
 from repro.lp.backends import highs_available, resolve_backend_name
 
 from _bench_utils import ARTIFACT_DIR, write_json_artifact
@@ -194,3 +208,78 @@ def bench_campaign_backend_ab(benchmark):
             f"(recorded in {_ARTIFACT})"
         )
     assert report.backend_b == resolve_backend_name("auto") == "highs"
+
+
+def bench_campaign_merge_throughput(benchmark, tmp_path):
+    """Merge rate (records/sec) over N shard journals of a paper-shaped design.
+
+    The records are synthesized (deterministic metric values, no
+    simulation): the quantity under test is the distribution layer --
+    journal parsing, slice validation, exactly-once accounting -- not the
+    schedulers.  The design mirrors the real campaign's shape: the full 162
+    configurations x 10 schedulers, with a replicate count scaled by
+    ``REPRO_BENCH_MERGE_REPLICATES`` (default 5, i.e. ~8 100 records).
+    """
+    n_shards = int(os.environ.get("REPRO_BENCH_MERGE_SHARDS", "6"))
+    replicates = int(os.environ.get("REPRO_BENCH_MERGE_REPLICATES", "5"))
+    configs = paper_configurations(window=20.0, max_jobs=10)
+    keys = ("offline", "online", "online-edf", "online-egdf", "swrpt",
+            "srpt", "spt", "bender02", "mct-div", "mct")
+    tasks = campaign_tasks(configs, keys, replicates, base_seed=2006)
+    meta = campaign_meta(configs, keys, replicates, base_seed=2006)
+
+    def synthetic_record(task, position):
+        value = 1.0 + (position % 977) / 977.0
+        return RunRecord(
+            config=task.config.name, replicate=task.replicate,
+            scheduler=task.scheduler_key, n_jobs=10,
+            n_clusters=task.config.n_clusters,
+            n_databanks=task.config.n_databanks,
+            availability=task.config.availability,
+            density=task.config.density,
+            max_stretch=value, sum_stretch=value * 3, max_flow=value * 5,
+            sum_flow=value * 7, makespan=value * 11,
+            scheduler_time=0.0,
+        )
+
+    positions = {task.triple: i for i, task in enumerate(tasks)}
+    journals = []
+    for plan in ShardPlan(1, n_shards).siblings():
+        path = tmp_path / f"shard-{plan.index}.jsonl"
+        shard_meta = dict(meta)
+        shard_meta["shard"] = plan.meta_entry()
+        with CampaignCheckpoint(path) as ckpt:
+            ckpt.open_append(shard_meta)
+            for task in plan.select(tasks):
+                ckpt.append(
+                    task.scheduler_key,
+                    synthetic_record(task, positions[task.triple]),
+                )
+        journals.append(path)
+
+    start = time.perf_counter()
+    report = benchmark.pedantic(
+        lambda: merge_journals(journals), rounds=1, iterations=1
+    )
+    merge_seconds = time.perf_counter() - start
+
+    assert report.complete, "synthetic shard journals must cover the design"
+    assert len(report.results) == len(tasks)
+    records_per_second = len(tasks) / merge_seconds if merge_seconds > 0 else 0.0
+    _update_artifact(
+        "merge_throughput",
+        {
+            "n_shards": n_shards,
+            "n_configs": len(configs),
+            "n_schedulers": len(keys),
+            "replicates": replicates,
+            "n_records": len(tasks),
+            "wall_clock_merge_s": round(merge_seconds, 3),
+            "records_per_second": round(records_per_second, 1),
+        },
+    )
+    # A soft floor only: the merge is pure parsing/accounting and should
+    # outpace record *computation* by orders of magnitude even on slow CI.
+    assert records_per_second > 100, (
+        f"journal merge unexpectedly slow: {records_per_second:.0f} records/s"
+    )

@@ -10,7 +10,6 @@ scaled-down defaults used by the table benchmarks.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.lp.backends import highs_available, highs_source, make_backend, record_lp_probes

@@ -20,7 +20,7 @@ def bench_theorem2_swrpt_gap(benchmark):
     cases = [(0.5, 400), (0.4, 400), (0.3, 600)]
 
     def run():
-        return [swrpt_competitive_gap(eps, l) for eps, l in cases]
+        return [swrpt_competitive_gap(eps, n_unit) for eps, n_unit in cases]
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
 

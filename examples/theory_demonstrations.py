@@ -52,10 +52,10 @@ def demonstrate_theorem2() -> None:
     table = TextTable(
         headers=["epsilon", "l", "SRPT sum-S", "SWRPT sum-S", "ratio", "target 2-eps"]
     )
-    for epsilon, l in [(0.5, 50), (0.5, 400), (0.3, 400), (0.2, 800)]:
-        report = swrpt_competitive_gap(epsilon, l)
+    for epsilon, n_unit in [(0.5, 50), (0.5, 400), (0.3, 400), (0.2, 800)]:
+        report = swrpt_competitive_gap(epsilon, n_unit)
         table.add_row(
-            [epsilon, l, report.srpt_sum_stretch, report.swrpt_sum_stretch,
+            [epsilon, n_unit, report.srpt_sum_stretch, report.swrpt_sum_stretch,
              report.ratio, report.target]
         )
     print(table.render())

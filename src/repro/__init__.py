@@ -55,6 +55,12 @@ the *incremental replanning pipeline* spanning the starred modules::
     |   |-- ab           scipy-vs-HiGHS campaign A/B equivalence harness
     |   |-- io           CSV/JSON persistence + JSONL campaign checkpoints
     |   |                (kill-tolerant --checkpoint/--resume)
+    |   |-- sharding   * ShardPlan: deterministic --shard i/N slices of the
+    |   |                design (whole instances, round-robin, stable across
+    |   |                processes) for CI-matrix distribution
+    |   |-- merge      * journal union with exactly-once coverage validation
+    |   |                (duplicate/conflict/gap detection) + the report
+    |   |                stage (Tables 1-16, CAMPAIGN_summary.json)
     |   `-- ...          config, statistics, tables, figures, overhead
     `-- theory/        constructions behind Theorems 1 and 2
 """

@@ -19,6 +19,23 @@ Sub-commands
         repro-stretch campaign --workers 4 --checkpoint campaign.jsonl
         repro-stretch campaign --workers 4 --checkpoint campaign.jsonl --resume
         repro-stretch campaign --workers 4 --ab-backends
+
+    ``--shard i/N`` restricts the run to one deterministic slice of the
+    design (whole instances, dealt round-robin), so N independent jobs --
+    the legs of a CI matrix -- can carry one campaign in parallel, each
+    with its own journal.
+``merge``
+    Union N shard journals into one validated record set: exactly-once
+    triple coverage, duplicate/conflict detection (same triple with a
+    different record is a hard error) and gap reporting for resumable
+    re-runs; optionally writes the merged journal::
+
+        repro-stretch merge shard-*.jsonl --output merged.jsonl
+``report``
+    Regenerate Tables 1-16 and a machine-readable ``CAMPAIGN_summary.json``
+    from a (merged or serial) campaign journal::
+
+        repro-stretch report merged.jsonl --output-dir campaign-report
 ``figure3``
     Run the density sweep of Figure 3 and print both series.
 ``overhead``
@@ -45,15 +62,15 @@ from repro.core.errors import ReproError
 from repro.experiments.ab import run_backend_ab
 from repro.experiments.figures import run_figure3_sweep
 from repro.experiments.io import save_records_csv
+from repro.experiments.merge import (
+    generate_campaign_report,
+    merge_journals,
+    write_merged_journal,
+)
 from repro.experiments.overhead import DEFAULT_OVERHEAD_SCHEDULERS, scheduling_overhead
 from repro.experiments.runner import run_campaign
-from repro.experiments.tables import (
-    table1,
-    tables_by_availability,
-    tables_by_databases,
-    tables_by_density,
-    tables_by_sites,
-)
+from repro.experiments.sharding import parse_shard_spec
+from repro.experiments.tables import breakdown_tables, table1
 from repro.lp.backends import BACKEND_CHOICES, available_backends, resolve_backend_name
 from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import (
@@ -102,7 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     camp = sub.add_parser("campaign", help="run a scaled-down version of the paper campaign")
     camp.add_argument("--replicates", type=int, default=1)
     camp.add_argument("--window", type=float, default=20.0)
-    camp.add_argument("--max-jobs", type=int, default=15)
+    camp.add_argument(
+        "--max-jobs",
+        type=_job_cap,
+        default=15,
+        help="cap on jobs per instance used to scale the campaign down; "
+        "0 removes the cap (the paper's actual workload; combine with "
+        "--window 900 for the full Section 5.3 design)",
+    )
     camp.add_argument("--seed", type=int, default=2006)
     camp.add_argument("--workers", type=int, default=1)
     camp.add_argument("--sites", type=int, nargs="+", default=[3, 10, 20])
@@ -129,6 +153,16 @@ def build_parser() -> argparse.ArgumentParser:
         "replicate, scheduler) triple it already contains",
     )
     camp.add_argument(
+        "--shard",
+        type=_shard_spec,
+        default=None,
+        metavar="i/N",
+        help="run only this deterministic slice of the design (whole "
+        "(config, replicate) instances, dealt round-robin over the N "
+        "shards); combine with --checkpoint so the N legs' journals can "
+        "be reunited with the 'merge' subcommand",
+    )
+    camp.add_argument(
         "--ab-backends",
         action="store_true",
         help="run the campaign once with the scipy backend and once with "
@@ -152,6 +186,57 @@ def build_parser() -> argparse.ArgumentParser:
         "across solver backends",
     )
     _add_replanning_arguments(camp)
+
+    mrg = sub.add_parser(
+        "merge",
+        help="union N campaign shard journals into one validated record set",
+    )
+    mrg.add_argument(
+        "journals",
+        nargs="+",
+        metavar="JOURNAL",
+        help="checkpoint journals written by 'campaign --shard i/N --checkpoint'",
+    )
+    mrg.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write the merged record set as one unsharded journal "
+        "(consumable by the 'report' subcommand and by --resume)",
+    )
+    mrg.add_argument(
+        "--allow-gaps",
+        action="store_true",
+        help="exit 0 even when some design triples are missing (the gap "
+        "report names the shards to re-run); without this flag an "
+        "incomplete merge exits 1",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="regenerate Tables 1-16 + CAMPAIGN_summary.json from a journal",
+    )
+    rep.add_argument(
+        "journal",
+        metavar="JOURNAL",
+        help="a complete campaign journal (merged or serial)",
+    )
+    rep.add_argument(
+        "--output-dir",
+        type=str,
+        default="campaign-report",
+        metavar="DIR",
+        help="directory receiving TABLE_01.txt, TABLES_02_16.txt, "
+        "records.json and CAMPAIGN_summary.json (default: campaign-report)",
+    )
+    rep.add_argument(
+        "--allow-gaps",
+        action="store_true",
+        help="report on a partial record set instead of requiring "
+        "exactly-once coverage of the full design",
+    )
+    rep.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
 
     fig = sub.add_parser("figure3", help="run the Figure 3 density sweep")
     fig.add_argument("--replicates", type=int, default=3)
@@ -190,6 +275,25 @@ def _policy_spec(text: str) -> str:
     try:
         parse_policy(text)
     except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
+
+
+def _job_cap(text: str) -> int:
+    """argparse type: a per-instance job cap; 0 means uncapped, negatives error."""
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 removes the cap; the paper's uncapped workload)"
+        )
+    return value
+
+
+def _shard_spec(text: str) -> str:
+    """argparse type: validate an 'i/N' shard spec early, keep it textual."""
+    try:
+        parse_shard_spec(text)
+    except ReproError as exc:
         raise argparse.ArgumentTypeError(str(exc)) from None
     return text
 
@@ -274,7 +378,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"{instance.n_jobs} jobs, size ratio Delta = {instance.delta():.2f}")
     print()
     table = TextTable(
-        headers=["Scheduler", "max-stretch", "sum-stretch", "max-flow", "makespan", "sched time (s)"]
+        headers=["Scheduler", "max-stretch", "sum-stretch", "max-flow", "makespan",
+                 "sched time (s)"]
     )
     online_options = _online_options(args)
     for key in args.schedulers:
@@ -317,19 +422,38 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shard and (args.ab_backends or args.breakdowns):
+        # A shard leg computes a deliberately partial record set; aggregate
+        # tables (and the A/B gate) over it would be silently misleading --
+        # they belong after the 'merge' step, in the 'report' stage.
+        print(
+            "error: --shard is incompatible with --ab-backends and "
+            "--breakdowns (merge the shard journals, then use 'report')",
+            file=sys.stderr,
+        )
+        return 2
     configs = paper_configurations(
         sites=args.sites,
         databanks=args.databanks,
         availabilities=args.availabilities,
         densities=args.densities,
         window=args.window,
-        max_jobs=args.max_jobs,
+        max_jobs=args.max_jobs if args.max_jobs > 0 else None,
         replan_policy=args.replan_policy,
         incremental_lp=not args.from_scratch,
         solver_backend=args.solver_backend,
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
-    progress = lambda msg: print(f"  {msg}", file=sys.stderr)
+    computed = 0
+
+    def progress(msg) -> None:
+        # Counts the *freshly computed* tasks: checkpoint-restored triples
+        # never reach the progress callback, so a fully-restored resume is
+        # detectable as zero progress events ("nothing to do").
+        nonlocal computed
+        computed += 1
+        print(f"  {msg}", file=sys.stderr)
+
     if args.ab_backends:
         # The requested backend is side B of the comparison (the 'auto'
         # default compares scipy against whatever auto resolves to here).
@@ -364,9 +488,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print()
         print(report.render())
         return 0 if report.equivalent else 1
+    shard_note = f" (shard {args.shard})" if args.shard else ""
     print(
         f"Running {len(configs)} configurations x {args.replicates} replicates "
-        f"x {len(scheduler_keys)} schedulers ..."
+        f"x {len(scheduler_keys)} schedulers{shard_note} ..."
     )
     try:
         results = run_campaign(
@@ -378,27 +503,94 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             progress=progress,
             checkpoint=args.checkpoint,
             resume=args.resume,
+            shard=args.shard,
         )
     except ReproError as exc:
         # Expected operator errors (existing journal without --resume,
         # foreign checkpoint): a clean message, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.resume and computed == 0:
+        print(
+            f"nothing to do: checkpoint {args.checkpoint} already contains "
+            f"all {len(results)} records"
+        )
     if args.save_csv:
         path = save_records_csv(results, args.save_csv)
         print(f"raw records saved to {path}")
+    if args.shard:
+        # A shard leg's aggregate tables would cover a partial design;
+        # summarize the leg instead and leave the tables to 'report'.
+        print(
+            f"shard {args.shard}: {len(results)} records"
+            + (f", journaled to {args.checkpoint}" if args.checkpoint else "")
+        )
+        return 0
     print()
     print(table1(results).render())
     if args.breakdowns:
-        for tables in (
-            tables_by_sites(results),
-            tables_by_density(results),
-            tables_by_databases(results),
-            tables_by_availability(results),
-        ):
-            for table in tables.values():
-                print()
-                print(table.render())
+        for table in breakdown_tables(results):
+            print()
+            print(table.render())
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    try:
+        report = merge_journals(args.journals)
+    except ReproError as exc:
+        # Integrity violations (foreign journals, mismatched shard plans,
+        # conflicting records) are hard errors: nothing is written.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.output:
+        try:
+            path = write_merged_journal(report, args.output)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"merged journal written to {path}")
+    if not report.complete and not args.allow_gaps:
+        print(
+            "error: coverage is incomplete (pass --allow-gaps to accept a "
+            "partial merge)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        merged = merge_journals([args.journal])
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not merged.complete and not args.allow_gaps:
+        print(merged.render(), file=sys.stderr)
+        print(
+            "error: the journal does not cover the full design (merge all "
+            "shard legs first, or pass --allow-gaps)",
+            file=sys.stderr,
+        )
+        return 1
+    summary = generate_campaign_report(
+        merged.results,
+        args.output_dir,
+        meta=merged.meta,
+        coverage=merged.summary(),
+    )
+    print(table1(merged.results).render())
+    if args.breakdowns:
+        for table in breakdown_tables(merged.results):
+            print()
+            print(table.render())
+    print()
+    print(
+        f"campaign report written to {args.output_dir} "
+        f"({summary['n_records']} records, {summary['n_failed']} failed)"
+    )
     return 0
 
 
@@ -450,7 +642,8 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
             (comparison_keys, False, " (from scratch)"),
         ]
     table = TextTable(
-        headers=["Scheduler", "mean sched time (s)", "max sched time (s)", "mean decisions", "instances"]
+        headers=["Scheduler", "mean sched time (s)", "max sched time (s)", "mean decisions",
+                 "instances"]
     )
     for keys, incremental, suffix in runs:
         kwargs = {} if keys is None else {"scheduler_keys": keys}
@@ -497,8 +690,10 @@ def _cmd_theorem2(args: argparse.Namespace) -> int:
         f"Theorem 2 instance: epsilon = {report.epsilon}, alpha = {report.parameters.alpha:.4f}, "
         f"n = {report.parameters.n}, k = {report.parameters.k}, l = {report.n_unit_jobs}"
     )
-    print(f"  SRPT  sum-stretch: simulated {report.srpt_sum_stretch:.3f}, predicted {report.predicted_srpt:.3f}")
-    print(f"  SWRPT sum-stretch: simulated {report.swrpt_sum_stretch:.3f}, predicted {report.predicted_swrpt:.3f}")
+    print(f"  SRPT  sum-stretch: simulated {report.srpt_sum_stretch:.3f}, "
+          f"predicted {report.predicted_srpt:.3f}")
+    print(f"  SWRPT sum-stretch: simulated {report.swrpt_sum_stretch:.3f}, "
+          f"predicted {report.predicted_swrpt:.3f}")
     print(f"  ratio: {report.ratio:.4f} (target as l grows: {report.target:.4f})")
     return 0
 
@@ -514,6 +709,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "simulate": _cmd_simulate,
         "campaign": _cmd_campaign,
+        "merge": _cmd_merge,
+        "report": _cmd_report,
         "figure3": _cmd_figure3,
         "overhead": _cmd_overhead,
         "theorem1": _cmd_theorem1,

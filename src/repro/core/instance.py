@@ -16,8 +16,7 @@ schedulers need:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable
 
 from repro.core.errors import ModelError
 from repro.core.job import Job, JobSet

@@ -20,7 +20,7 @@ simulation engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.errors import ModelError

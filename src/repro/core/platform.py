@@ -15,8 +15,8 @@ Section 2.2 of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.errors import ModelError
 from repro.utils.validation import require_positive

@@ -20,12 +20,12 @@ directly.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.core.errors import ScheduleError
 from repro.core.instance import Instance
-from repro.utils.validation import ABS_TOL, almost_leq
+from repro.utils.validation import ABS_TOL
 
 __all__ = ["WorkSlice", "Schedule"]
 

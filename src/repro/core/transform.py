@@ -21,8 +21,6 @@ direction must never increase any completion time.
 
 from __future__ import annotations
 
-import math
-from typing import Iterable
 
 from repro.core.errors import ModelError
 from repro.core.instance import Instance

@@ -16,6 +16,12 @@
   Section 5.3.
 * :mod:`repro.experiments.io` -- CSV/JSON persistence of result records and
   the streaming JSONL campaign checkpoints.
+* :mod:`repro.experiments.sharding` -- deterministic shard plans: split the
+  (configuration, replicate, scheduler) design into ``i/N`` slices that
+  independent jobs (CI matrix legs) run with their own journals.
+* :mod:`repro.experiments.merge` -- the inverse: union N shard journals
+  into one validated record set (exactly-once coverage, conflict and gap
+  detection) and regenerate Tables 1-16 plus ``CAMPAIGN_summary.json``.
 """
 
 from repro.experiments.config import (
@@ -29,12 +35,26 @@ from repro.experiments.runner import (
     CampaignTask,
     ExperimentResults,
     RunRecord,
+    campaign_meta,
     campaign_tasks,
     run_campaign,
     run_configuration,
 )
+from repro.experiments.sharding import ShardPlan, parse_shard_spec
+from repro.experiments.merge import (
+    JournalLeg,
+    MergeReport,
+    generate_campaign_report,
+    merge_journals,
+    write_merged_journal,
+)
 from repro.experiments.ab import BackendABReport, compare_record_sets, run_backend_ab
-from repro.experiments.statistics import AggregateRow, DegradationRecord, compute_degradations, summarize
+from repro.experiments.statistics import (
+    AggregateRow,
+    DegradationRecord,
+    compute_degradations,
+    summarize,
+)
 from repro.experiments.tables import (
     render_aggregate_table,
     table1,
@@ -63,8 +83,16 @@ __all__ = [
     "CampaignTask",
     "CampaignProgress",
     "campaign_tasks",
+    "campaign_meta",
     "run_configuration",
     "run_campaign",
+    "ShardPlan",
+    "parse_shard_spec",
+    "JournalLeg",
+    "MergeReport",
+    "merge_journals",
+    "write_merged_journal",
+    "generate_campaign_report",
     "BackendABReport",
     "compare_record_sets",
     "run_backend_ab",

@@ -18,7 +18,7 @@ EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.core.errors import ModelError
@@ -105,7 +105,9 @@ class ExperimentConfig:
     def workload_spec(self) -> WorkloadSpec:
         return WorkloadSpec(density=self.density, window=self.window, max_jobs=self.max_jobs)
 
-    def scaled(self, *, window: float | None = None, max_jobs: int | None = None) -> "ExperimentConfig":
+    def scaled(
+        self, *, window: float | None = None, max_jobs: int | None = None
+    ) -> "ExperimentConfig":
         """A copy with a different submission window and/or job cap."""
         return replace(
             self,

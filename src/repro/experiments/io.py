@@ -206,20 +206,40 @@ class CampaignCheckpoint:
 
         ``expect_meta``, when given, is compared against the header written
         at campaign start; any difference raises :class:`ReproError` (the
-        checkpoint belongs to a different campaign).
+        checkpoint belongs to a different campaign).  A triple journaled
+        more than once (e.g. in a hand-concatenated file) keeps its last
+        record; :meth:`read_entries` exposes the raw stream when duplicates
+        matter.
+        """
+        if self.effectively_empty():
+            # Missing, empty, or a lone truncated header fragment: nothing
+            # to restore, and open_append() starts the file over.
+            return {}
+        meta, entries = self.read_entries()
+        if expect_meta is not None and meta != expect_meta:
+            raise ReproError(
+                f"checkpoint {self.path} was written for a different campaign "
+                f"(seed/schedulers/design mismatch): {meta!r} "
+                f"vs requested {expect_meta!r}"
+            )
+        return dict(entries)
+
+    def read_entries(
+        self,
+    ) -> tuple[dict[str, object], list[tuple[tuple[str, int, str], RunRecord]]]:
+        """The header metadata and every journaled (triple, record) entry.
+
+        Entries are returned in journal order *including duplicates* -- the
+        merge layer needs to see a triple journaled twice to tell a benign
+        re-run from a conflict -- with truncated/malformed lines skipped as
+        in :meth:`load`.  Raises :class:`ReproError` when the file is not a
+        campaign checkpoint (missing, empty, or bad header).
         """
         if not self.path.exists() or self.path.stat().st_size == 0:
-            return {}
+            raise ReproError(f"{self.path} is missing or empty, not a campaign checkpoint")
         content = self.path.read_text()
-        if "\n" not in content and self._parse_line(content) is None:
-            # A lone truncated header fragment (same signature as
-            # :meth:`effectively_empty`, on the already-read content):
-            # nothing to restore, and open_append() starts the file over.
-            return {}
-        entries = [self._parse_line(line) for line in content.splitlines()]
-        if not entries:
-            return {}
-        header = entries[0]
+        lines = content.splitlines()
+        header = self._parse_line(lines[0]) if lines else None
         if (
             header is None
             or header.get("kind") != _CHECKPOINT_KIND
@@ -228,14 +248,14 @@ class CampaignCheckpoint:
             raise ReproError(
                 f"{self.path} is not a campaign checkpoint (bad or missing header)"
             )
-        if expect_meta is not None and header.get("meta") != expect_meta:
+        meta = header.get("meta")
+        if not isinstance(meta, dict):
             raise ReproError(
-                f"checkpoint {self.path} was written for a different campaign "
-                f"(seed/schedulers/design mismatch): {header.get('meta')!r} "
-                f"vs requested {expect_meta!r}"
+                f"{self.path} is not a campaign checkpoint (header carries no metadata)"
             )
-        done: dict[tuple[str, int, str], RunRecord] = {}
-        for entry in entries[1:]:
+        parsed: list[tuple[tuple[str, int, str], RunRecord]] = []
+        for line in lines[1:]:
+            entry = self._parse_line(line)
             if entry is None:  # truncated trailing line from a killed run
                 continue
             task, record = entry.get("task"), entry.get("record")
@@ -245,14 +265,17 @@ class CampaignCheckpoint:
                 continue
             try:
                 config, replicate, scheduler_key = task
-                done[(config, int(replicate), scheduler_key)] = (
-                    record_from_jsonable(record)
+                parsed.append(
+                    (
+                        (config, int(replicate), scheduler_key),
+                        record_from_jsonable(record),
+                    )
                 )
             except (TypeError, ValueError):
                 # Malformed entry (wrong task arity, unexpected record
                 # fields): treat like a truncated line and recompute it.
                 continue
-        return done
+        return meta, parsed
 
     @staticmethod
     def _parse_line(line: str) -> dict | None:

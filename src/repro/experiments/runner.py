@@ -60,6 +60,7 @@ __all__ = [
     "CampaignTask",
     "CampaignProgress",
     "campaign_tasks",
+    "campaign_meta",
     "run_configuration",
     "run_campaign",
 ]
@@ -251,6 +252,47 @@ def campaign_tasks(
             for key in scheduler_keys:
                 tasks.append(CampaignTask(config, replicate, key, seed))
     return tasks
+
+
+def campaign_meta(
+    configs: Sequence[ExperimentConfig],
+    scheduler_keys: Sequence[str] = DEFAULT_SCHEDULERS,
+    replicates: int = 5,
+    base_seed: int = 2006,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+) -> dict[str, object]:
+    """The campaign's identity header, shared by checkpoints and shard journals.
+
+    The full design, not just names: two campaigns sharing config names but
+    differing in window/max_jobs/replan knobs produce different records, and
+    resuming (or merging) across them must be rejected.  Backends are
+    recorded *resolved* ("auto" -> what actually runs here), so a journal
+    started without HiGHS bindings cannot be silently continued with them
+    (or vice versa).  The result is normalized through JSON so a comparison
+    against a reloaded header cannot reject its own campaign (e.g. tuples
+    becoming lists).
+    """
+    meta = {
+        "base_seed": int(base_seed),
+        "replicates": int(replicates),
+        "scheduler_keys": list(scheduler_keys),
+        "configs": [config.as_dict() for config in configs],
+        "resolved_backends": sorted(
+            {resolve_backend_name(config.solver_backend) for config in configs}
+        ),
+        "scheduler_options": (
+            {key: dict(value) for key, value in scheduler_options.items()}
+            if scheduler_options
+            else None
+        ),
+    }
+    try:
+        return json.loads(json.dumps(meta, allow_nan=False))
+    except (TypeError, ValueError) as exc:
+        raise ReproError(
+            "campaign checkpoints require JSON-serializable "
+            f"scheduler_options: {exc}"
+        ) from None
 
 
 # -- per-worker state ---------------------------------------------------------------
@@ -471,6 +513,7 @@ def run_campaign(
     checkpoint: "CampaignCheckpoint | str | Path | None" = None,
     resume: bool = False,
     max_in_flight: int | None = None,
+    shard: "object | str | None" = None,
 ) -> ExperimentResults:
     """Run a whole campaign (all configurations x replicates x schedulers).
 
@@ -510,11 +553,27 @@ def run_campaign(
         error (never silently overwritten or duplicated).
     max_in_flight:
         Bound on concurrently submitted tasks (default: 4 per worker).
+    shard:
+        Optional :class:`~repro.experiments.sharding.ShardPlan` (or an
+        ``"i/N"`` spec string) restricting this invocation to one
+        deterministic slice of the design.  The checkpoint header records
+        the shard identity, so a shard journal can only resume its own
+        slice; :func:`~repro.experiments.merge.merge_journals` reunites the
+        N slices into the full record set.
     """
     tasks = campaign_tasks(configs, scheduler_keys, replicates, base_seed)
 
+    plan = None
+    if shard is not None:
+        # Imported here: sharding imports CampaignTask from this module.
+        from repro.experiments.sharding import ShardPlan
+
+        plan = shard if isinstance(shard, ShardPlan) else ShardPlan.parse(shard)
+        tasks = plan.select(tasks)
+
     ckpt: "CampaignCheckpoint | None" = None
     restored: dict[tuple[str, int, str], RunRecord] = {}
+    meta: dict[str, object] | None = None
     if checkpoint is not None:
         # The journal identifies work by triple, so a checkpointed design
         # must be triple-unique; plain runs tolerate duplicates (they just
@@ -533,35 +592,11 @@ def run_campaign(
             if isinstance(checkpoint, CampaignCheckpoint)
             else CampaignCheckpoint(checkpoint)
         )
-        # The full design, not just names: two campaigns sharing config
-        # names but differing in window/max_jobs/replan knobs produce
-        # different records, and resuming across them must be rejected.
-        # Backends are recorded *resolved* ("auto" -> what actually runs
-        # here), so a journal started without HiGHS bindings cannot be
-        # silently continued with them (or vice versa).
-        meta = {
-            "base_seed": int(base_seed),
-            "replicates": int(replicates),
-            "scheduler_keys": list(scheduler_keys),
-            "configs": [config.as_dict() for config in configs],
-            "resolved_backends": sorted(
-                {resolve_backend_name(config.solver_backend) for config in configs}
-            ),
-            "scheduler_options": (
-                {key: dict(value) for key, value in scheduler_options.items()}
-                if scheduler_options
-                else None
-            ),
-        }
-        # Normalize through JSON so the comparison against a reloaded header
-        # cannot reject its own campaign (e.g. tuples becoming lists).
-        try:
-            meta = json.loads(json.dumps(meta, allow_nan=False))
-        except (TypeError, ValueError) as exc:
-            raise ReproError(
-                "campaign checkpoints require JSON-serializable "
-                f"scheduler_options: {exc}"
-            ) from None
+        meta = campaign_meta(
+            configs, scheduler_keys, replicates, base_seed, scheduler_options
+        )
+        if plan is not None:
+            meta["shard"] = plan.meta_entry()
         # A file holding nothing restorable (missing, empty, or a header
         # truncated by a kill) is started over; only a populated journal
         # demands the explicit resume opt-in.
@@ -572,7 +607,6 @@ def run_campaign(
                 f"checkpoint {ckpt.path} already exists; pass resume=True "
                 "(CLI: --resume) to continue it, or remove the file"
             )
-        ckpt.open_append(meta)
     elif resume:
         raise ReproError("resume=True requires a checkpoint")
 
@@ -584,6 +618,18 @@ def run_campaign(
             run.restore(i, record)
         else:
             pending.append(i)
+
+    if ckpt is not None:
+        if pending or ckpt.effectively_empty():
+            # A fresh journal gets its header even when there is nothing to
+            # run (an empty shard leg must still leave a mergeable journal
+            # accounting for its slice).
+            ckpt.open_append(meta)
+        else:
+            # The journal is already complete: nothing will be appended, so
+            # leave the file untouched (callers detect the no-op through the
+            # absence of progress events and report "nothing to do").
+            run.checkpoint = None
 
     try:
         if n_workers <= 1:

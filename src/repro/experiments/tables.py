@@ -9,10 +9,10 @@ max-stretch degradation and the sum-stretch degradation.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.experiments.runner import ExperimentResults
-from repro.experiments.statistics import AggregateRow, compute_degradations, summarize
+from repro.experiments.statistics import compute_degradations, summarize
 from repro.utils.textable import TextTable
 
 __all__ = [
@@ -23,6 +23,7 @@ __all__ = [
     "tables_by_density",
     "tables_by_databases",
     "tables_by_availability",
+    "breakdown_tables",
 ]
 
 #: Row order of Table 1 in the paper (display names).
@@ -142,3 +143,21 @@ def tables_by_availability(results: ExperimentResults) -> dict[float, TextTable]
         "Table {number} - configurations with database availability {value:.0%}",
         first_table_number=14,
     )
+
+
+def breakdown_tables(results: ExperimentResults) -> list[TextTable]:
+    """Tables 2-16 in the paper's order: sites, density, databases, availability.
+
+    The single definition of the breakdown sequence, shared by the CLI
+    (``campaign --breakdowns``, ``report``) and the campaign report stage
+    (:func:`~repro.experiments.merge.generate_campaign_report`).
+    """
+    tables: list[TextTable] = []
+    for group in (
+        tables_by_sites(results),
+        tables_by_density(results),
+        tables_by_databases(results),
+        tables_by_availability(results),
+    ):
+        tables.extend(group.values())
+    return tables

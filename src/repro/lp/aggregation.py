@@ -15,14 +15,12 @@ concrete :class:`~repro.core.schedule.Schedule`:
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence
 
 from repro.core.errors import ScheduleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule, WorkSlice
 from repro.lp.maxstretch import MaxStretchSolution
-from repro.lp.problem import Resource
 
 __all__ = [
     "materialize_solution",
@@ -38,7 +36,9 @@ _WORK_EPS = 1e-9
 _OVERFLOW_TOL = 1e-6
 
 
-OrderRule = Callable[[MaxStretchSolution, int, int, Sequence[tuple[int, float]]], list[tuple[int, float]]]
+OrderRule = Callable[
+    [MaxStretchSolution, int, int, Sequence[tuple[int, float]]], list[tuple[int, float]]
+]
 
 
 def edf_order(

@@ -35,7 +35,6 @@ from typing import Hashable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.errors import SolverError
 
 __all__ = [
     "LPResult",

@@ -35,7 +35,7 @@ tolerance (equivalence is enforced by ``tests/test_lp_backends.py``).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Mapping
+from typing import Mapping
 
 from repro.core.instance import Instance
 from repro.lp.backends import SolverBackend, make_backend
@@ -52,9 +52,6 @@ from repro.lp.problem import (
     problem_from_instance,
 )
 from repro.lp.relaxation import reoptimize_allocation
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.simulation.state import SchedulerState
 
 __all__ = ["ReplanContext"]
 

@@ -12,7 +12,6 @@ fixed interval structure.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.core.errors import ModelError
 from repro.lp.problem import Affine, MaxStretchProblem

@@ -23,16 +23,16 @@ from __future__ import annotations
 
 import bisect
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
-from repro.core.errors import InfeasibleError, SolverError
+from repro.core.errors import InfeasibleError
 from repro.lp.backends import SolverBackend, WarmStartHint
 from repro.lp.intervals import IntervalStructure, build_interval_structure
 from repro.lp.milestones import enumerate_milestones
-from repro.lp.problem import LPJob, MaxStretchProblem
+from repro.lp.problem import MaxStretchProblem
 from repro.lp.solver import LinearProgramBuilder
 
 __all__ = [

@@ -25,7 +25,6 @@ gives every job exactly its ideal time after release.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 

@@ -17,8 +17,6 @@ Three families of schedulers are supported:
 
 from __future__ import annotations
 
-import bisect
-import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence

@@ -78,7 +78,8 @@ class Bender98Scheduler(PriorityScheduler):
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
         instance = state.instance
         released = sorted(state.released_ids)
-        if self.max_jobs_per_resolution is not None and len(released) > self.max_jobs_per_resolution:
+        cap = self.max_jobs_per_resolution
+        if cap is not None and len(released) > cap:
             released = released[-self.max_jobs_per_resolution:]
         # Off-line problem over the jobs arrived so far, with their original
         # sizes and release dates (Bender et al. ignore the work already done).

@@ -18,7 +18,6 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.simulation.state import SchedulerState
 from repro.schedulers.base import PlanBasedScheduler, PlanSegment

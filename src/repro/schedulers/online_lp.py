@@ -47,7 +47,6 @@ from repro.core.job import Job
 from repro.lp.aggregation import (
     edf_order,
     materialize_solution,
-    split_work_across_machines,
     swrpt_terminal_order,
 )
 from repro.lp.backends import SolverBackend, make_backend

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 from typing import Callable, Mapping
 
-from repro.core.instance import Instance
 from repro.simulation.state import JobRuntime, SchedulerState
 from repro.schedulers.base import PriorityScheduler
 

@@ -15,7 +15,7 @@ directly or through the decorator form::
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.schedulers.base import Scheduler
 from repro.schedulers.bender02 import Bender02Scheduler

@@ -29,7 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.errors import ModelError, ScheduleError
+from repro.core.errors import ScheduleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule, WorkSlice
 from repro.simulation.clock import EventQueue, EventType, SimulationClock

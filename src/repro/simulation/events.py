@@ -7,7 +7,7 @@ schedulers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["SimulationEvent", "ArrivalEvent", "CompletionEvent", "DecisionEvent"]
 

@@ -24,7 +24,7 @@ instance and reports where each one lands between the two reference points.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable
 
 from repro.simulation.engine import simulate
 from repro.schedulers.registry import make_scheduler

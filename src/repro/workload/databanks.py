@@ -11,7 +11,6 @@ draws leave it orphaned.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
 
 import numpy as np
 

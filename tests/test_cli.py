@@ -53,6 +53,33 @@ class TestParser:
         assert args.ab_tolerance == 1e-6
         assert args.ab_tie_tolerance == 0.10
 
+    def test_campaign_max_jobs_cap(self):
+        # 0 is the documented "uncapped" spelling; negatives are typos and
+        # must not silently become the paper-scale uncapped workload.
+        assert build_parser().parse_args(["campaign", "--max-jobs", "0"]).max_jobs == 0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--max-jobs", "-1"])
+
+    def test_campaign_shard_flag(self):
+        args = build_parser().parse_args(["campaign", "--shard", "2/5"])
+        assert args.shard == "2/5"
+        for bad in ("0/3", "4/3", "x/y", "3"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["campaign", "--shard", bad])
+
+    def test_merge_and_report_arguments(self):
+        args = build_parser().parse_args(
+            ["merge", "a.jsonl", "b.jsonl", "--output", "m.jsonl", "--allow-gaps"]
+        )
+        assert args.journals == ["a.jsonl", "b.jsonl"]
+        assert args.output == "m.jsonl"
+        assert args.allow_gaps
+        args = build_parser().parse_args(["report", "m.jsonl", "--output-dir", "d"])
+        assert args.journal == "m.jsonl"
+        assert args.output_dir == "d"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["merge"])  # at least one journal
+
 
 class TestCommands:
     def test_simulate_runs(self, capsys):
@@ -172,6 +199,97 @@ class TestCommands:
         code = main(["campaign", "--resume", "--max-jobs", "3"])
         assert code == 2
         assert "--checkpoint" in capsys.readouterr().err
+
+    def test_campaign_resume_of_complete_journal_is_nothing_to_do(
+        self, capsys, tmp_path
+    ):
+        ck = tmp_path / "ck.jsonl"
+        args = [
+            "campaign",
+            "--replicates", "1",
+            "--sites", "2",
+            "--databanks", "2",
+            "--availabilities", "0.6",
+            "--densities", "1.0",
+            "--window", "12",
+            "--max-jobs", "5",
+            "--schedulers", "swrpt", "mct",
+            "--checkpoint", str(ck),
+        ]
+        assert main(args) == 0
+        before = ck.read_text()
+        capsys.readouterr()
+        # The journal is complete: the resume exits 0, says so, and leaves
+        # the file byte-identical (nothing re-validated, nothing re-run).
+        assert main(args + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "nothing to do" in captured.out
+        assert "  [" not in captured.err  # no per-task progress lines
+        assert ck.read_text() == before
+
+    def test_campaign_shard_merge_report_flow(self, capsys, tmp_path):
+        # The acceptance flow at test scale: three shard legs -> merge with
+        # exactly-once validation -> report regenerating Table 1.
+        base = [
+            "campaign",
+            # Three replicates of one configuration: exactly one instance
+            # group per shard, so dropping a leg leaves a genuine gap.
+            "--replicates", "3",
+            "--sites", "2",
+            "--databanks", "2",
+            "--availabilities", "0.6",
+            "--densities", "1.0",
+            "--window", "12",
+            "--max-jobs", "5",
+            "--schedulers", "swrpt", "mct",
+        ]
+        journals = []
+        for i in (1, 2, 3):
+            path = tmp_path / f"shard-{i}.jsonl"
+            code = main(base + ["--shard", f"{i}/3", "--checkpoint", str(path)])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert f"shard {i}/3:" in out
+            assert "Table 1" not in out  # partial records never get tables
+            journals.append(str(path))
+
+        merged = tmp_path / "merged.jsonl"
+        code = main(["merge", *journals, "--output", str(merged)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "coverage: complete" in out
+        assert merged.exists()
+
+        code = main(
+            ["report", str(merged), "--output-dir", str(tmp_path / "report")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+        assert (tmp_path / "report" / "CAMPAIGN_summary.json").exists()
+
+        # A merge missing one leg exits 1 (gap) unless gaps are allowed...
+        assert main(["merge", *journals[:2]]) == 1
+        err = capsys.readouterr().err
+        assert "incomplete" in err
+        assert main(["merge", *journals[:2], "--allow-gaps"]) == 0
+        capsys.readouterr()
+        # ...and 'report' refuses a partial journal outright.
+        assert main(["report", journals[0]]) == 1
+        assert "full design" in capsys.readouterr().err
+
+    def test_campaign_shard_rejects_table_sinks(self, capsys):
+        code = main(["campaign", "--shard", "1/2", "--breakdowns", "--max-jobs", "3"])
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+        code = main(["campaign", "--shard", "1/2", "--ab-backends", "--max-jobs", "3"])
+        assert code == 2
+        assert "incompatible" in capsys.readouterr().err
+
+    def test_merge_of_missing_journal_is_clean_error(self, capsys, tmp_path):
+        code = main(["merge", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_campaign_ab_backends_rejects_record_sinks(self, capsys):
         code = main(

@@ -37,7 +37,9 @@ class TestMachine:
 
 class TestCluster:
     def test_homogeneity_enforced(self):
-        ok = Cluster(0, (Machine(0, 1.0, 0, frozenset({"a"})), Machine(1, 1.0, 0, frozenset({"a"}))))
+        ok = Cluster(
+            0, (Machine(0, 1.0, 0, frozenset({"a"})), Machine(1, 1.0, 0, frozenset({"a"})))
+        )
         assert ok.aggregate_speed == pytest.approx(2.0)
         assert ok.databanks == frozenset({"a"})
         with pytest.raises(ModelError):

@@ -101,7 +101,9 @@ class TestRunner:
         )
         serial = run_campaign([config], scheduler_keys=("swrpt",), replicates=2, n_workers=1)
         parallel = run_campaign([config], scheduler_keys=("swrpt",), replicates=2, n_workers=2)
-        key = lambda r: (r.config, r.replicate, r.scheduler)
+        def key(r):
+            return (r.config, r.replicate, r.scheduler)
+
         for rs, rp in zip(sorted(serial, key=key), sorted(parallel, key=key)):
             assert rs.max_stretch == pytest.approx(rp.max_stretch)
 
@@ -191,7 +193,9 @@ class TestIO:
         path = save_records_csv(tiny_campaign, tmp_path / "records.csv")
         loaded = load_records_csv(path)
         assert len(loaded) == len(tiny_campaign)
-        key = lambda r: (r.config, r.replicate, r.scheduler)
+        def key(r):
+            return (r.config, r.replicate, r.scheduler)
+
         for original, restored in zip(
             sorted(tiny_campaign, key=key), sorted(loaded, key=key)
         ):

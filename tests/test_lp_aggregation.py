@@ -40,7 +40,9 @@ def restricted_instance() -> Instance:
 
 class TestSplitWork:
     def test_split_across_machines_proportional(self, restricted_instance):
-        slices = split_work_across_machines(restricted_instance, [0, 1], job_id=0, start=1.0, end=3.0)
+        slices = split_work_across_machines(
+            restricted_instance, [0, 1], job_id=0, start=1.0, end=3.0
+        )
         works = {s.machine_id: s.work for s in slices}
         assert works[0] == pytest.approx(2.0)   # speed 1 over 2 seconds
         assert works[1] == pytest.approx(4.0)   # speed 2 over 2 seconds

@@ -17,7 +17,6 @@ from repro.core.errors import SolverError
 from repro.lp.backends import (
     BACKEND_CHOICES,
     ScipyBackend,
-    SolverBackend,
     default_backend,
     highs_available,
     make_backend,

@@ -113,7 +113,8 @@ class TestTwoJobs:
         solution = minimize_max_weighted_flow(problem)
         assert solution.deadline(0) == pytest.approx(solution.objective * 4.0)
         assert 0 in solution.jobs_on_resource(0)
-        assert solution.completion_interval(0) >= solution.completion_interval_on_resource(0, 0) or True
+        first_resource = solution.completion_interval_on_resource(0, 0)
+        assert solution.completion_interval(0) >= first_resource or True
         interval_allocs = solution.allocations_in_interval(solution.completion_interval(0))
         assert any(job == 0 for (_, job) in interval_allocs)
 

@@ -14,7 +14,6 @@ preserve:
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest

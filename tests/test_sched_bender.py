@@ -7,9 +7,6 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.instance import Instance
-from repro.core.job import Job
-from repro.core.platform import Platform
 from repro.schedulers.bender02 import Bender02Scheduler
 from repro.schedulers.bender98 import Bender98Scheduler
 from repro.schedulers.offline import OfflineScheduler

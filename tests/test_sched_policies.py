@@ -43,7 +43,9 @@ class TestParsePolicy:
         for spec in ("on-arrival", "batched:0.5", "threshold:1.2"):
             assert parse_policy(spec).describe() == spec
 
-    @pytest.mark.parametrize("spec", ["nope", "batched", "batched:x", "threshold:0.5", "batched:-1"])
+    @pytest.mark.parametrize(
+        "spec", ["nope", "batched", "batched:x", "threshold:0.5", "batched:-1"]
+    )
     def test_rejects_malformed_specs(self, spec):
         with pytest.raises(ValueError):
             parse_policy(spec)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.errors import ModelError
@@ -153,7 +152,9 @@ class TestWorkloadGeneration:
         spec = PlatformSpec(n_clusters=2, processors_per_cluster=5, n_databanks=1, availability=1.0)
         platform, catalog = generate_platform(spec, rng=4)
         density, window = 1.5, 2000.0
-        jobs = generate_workload(platform, catalog, WorkloadSpec(density=density, window=window), rng=4)
+        jobs = generate_workload(
+            platform, catalog, WorkloadSpec(density=density, window=window), rng=4
+        )
         name = catalog.names()[0]
         arriving_work_per_second = sum(j.size for j in jobs) / window
         expected = density * platform.aggregate_speed(name)
@@ -175,7 +176,9 @@ class TestWorkloadGeneration:
         assert all(any(abs(j.size - s) < 1e-9 for s in sizes) for j in jobs)
 
     def test_max_jobs_cap(self):
-        spec = PlatformSpec(n_clusters=3, processors_per_cluster=10, n_databanks=3, availability=0.9)
+        spec = PlatformSpec(
+            n_clusters=3, processors_per_cluster=10, n_databanks=3, availability=0.9
+        )
         platform, catalog = generate_platform(spec, rng=7)
         jobs = generate_workload(
             platform, catalog, WorkloadSpec(density=2.0, window=600.0, max_jobs=25), rng=7
@@ -193,7 +196,9 @@ class TestWorkloadGeneration:
 
 class TestInstanceGeneration:
     def test_generate_instance_is_feasible_and_reproducible(self):
-        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=4, n_databanks=2, availability=0.5)
+        spec_p = PlatformSpec(
+            n_clusters=2, processors_per_cluster=4, n_databanks=2, availability=0.5
+        )
         spec_w = WorkloadSpec(density=1.0, window=60.0, max_jobs=20)
         a = generate_instance(spec_p, spec_w, rng=11)
         b = generate_instance(spec_p, spec_w, rng=11)
@@ -206,7 +211,9 @@ class TestInstanceGeneration:
         from repro.schedulers.priority import SWRPTScheduler
         from repro.simulation.engine import simulate
 
-        spec_p = PlatformSpec(n_clusters=2, processors_per_cluster=3, n_databanks=2, availability=0.6)
+        spec_p = PlatformSpec(
+            n_clusters=2, processors_per_cluster=3, n_databanks=2, availability=0.6
+        )
         spec_w = WorkloadSpec(density=0.8, window=40.0, max_jobs=15)
         instance = generate_instance(spec_p, spec_w, rng=13)
         result = simulate(instance, SWRPTScheduler())
