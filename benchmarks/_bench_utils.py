@@ -79,3 +79,25 @@ def write_json_artifact(name: str, payload: object) -> Path:
     path = ARTIFACT_DIR / name
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def update_json_artifact(name: str, section: str, payload: object) -> Path:
+    """Merge ``payload`` under ``section`` of an existing JSON artifact.
+
+    Lets several benchmarks share one baseline file (``BENCH_lp.json`` holds
+    both the backend comparison and the probe-elimination histogram) without
+    clobbering each other regardless of execution order.
+    """
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    path = ARTIFACT_DIR / name
+    merged: dict = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if isinstance(existing, dict):
+                merged = existing
+        except json.JSONDecodeError:
+            pass
+    merged[section] = payload
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return path

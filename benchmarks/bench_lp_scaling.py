@@ -10,15 +10,20 @@ scaled-down defaults used by the table benchmarks.
 
 from __future__ import annotations
 
+import statistics
+
 import pytest
 
 from repro.lp.backends import highs_available, highs_source, make_backend, record_lp_probes
+from repro.lp.incremental import ReplanContext
 from repro.lp.maxstretch import minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
 from repro.lp.relaxation import reoptimize_allocation
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
 from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
 
-from _bench_utils import write_json_artifact
+from _bench_utils import update_json_artifact
 
 
 def _instance(n_clusters: int, n_jobs: int, seed: int = 11):
@@ -99,13 +104,23 @@ _TIMING_ROUNDS = 3
 
 
 def _resolution_with_backend(problem, backend_name: str):
-    """Best-of-N full resolutions (System (1) search + System (2))."""
+    """Best-of-N full resolutions (System (1) search + System (2)).
+
+    The milestone search is pinned to the legacy gallop so both backends
+    walk the *same* probe sequence and the per-probe timing ratio isolates
+    the solver backend: the certificate search would prune different probes
+    on each backend (scipy produces no dual rays), skewing the per-probe
+    means.  Probe *elimination* is gated separately by
+    :func:`bench_certificate_probe_elimination`.
+    """
     best = fastest = None
     for _ in range(_TIMING_ROUNDS):
         backend = make_backend(backend_name)
         try:
             with record_lp_probes() as stats:
-                best = minimize_max_weighted_flow(problem, backend=backend)
+                best = minimize_max_weighted_flow(
+                    problem, backend=backend, search="gallop"
+                )
                 reoptimize_allocation(problem, best.objective, backend=backend)
         finally:
             backend.close()
@@ -170,8 +185,9 @@ def bench_solver_backend_comparison(benchmark):
             r["backend"]: r["per_probe_ms"] for r in rows if r["n_jobs"] == largest
         }
         speedup = per_probe["scipy"] / per_probe["highs"]
-    write_json_artifact(
+    update_json_artifact(
         "BENCH_lp.json",
+        "backend_comparison",
         {
             "benchmark": "bench_solver_backend_comparison",
             "highs_available": highs_available(),
@@ -197,6 +213,126 @@ def bench_solver_backend_comparison(benchmark):
     assert speedup >= 2.0, (
         f"persistent HiGHS backend only {speedup:.2f}x faster per probe at "
         f"{largest} jobs (target: >= 2x)"
+    )
+
+
+def _record_replan_problems(instance, backend_name: str):
+    """The System (1) problems of one online run (the replay inputs).
+
+    Replaying a recorded problem stream -- instead of comparing two live
+    simulations -- keeps the probe-count comparison apples to apples: live
+    runs diverge after the first System (2) degenerate alternate optimum
+    (different executed allocations change every later problem), while the
+    replay solves the *same* problems under both search strategies.
+    """
+    problems = []
+    original = ReplanContext.solve_max_stretch
+
+    def recording(self, problem):
+        problems.append(problem)
+        return original(self, problem)
+
+    ReplanContext.solve_max_stretch = recording
+    try:
+        simulate(instance, make_scheduler("online", solver_backend=backend_name))
+    finally:
+        ReplanContext.solve_max_stretch = original
+    return problems
+
+
+def _replay_search(instance, problems, backend_name: str, mode: str):
+    """Solve the recorded problems through a warm-carried context; per-replan stats."""
+    context = ReplanContext(
+        instance, solver_backend=backend_name, milestone_search=mode
+    )
+    objectives = []
+    try:
+        with record_lp_probes() as stats:
+            for problem in problems:
+                objectives.append(context.solve_max_stretch(problem).objective)
+    finally:
+        context.close()
+    return objectives, stats
+
+
+def bench_certificate_probe_elimination(benchmark):
+    """Certificate-guided search vs the legacy gallop: LP probes per replan.
+
+    The acceptance gate of the probe-elimination subsystem: on the dense
+    60-job workload (the regime where the LP solve is the scheduling floor),
+    the certificate-guided parametric search must cut the *median* number of
+    LP probes actually solved per replan by >= 30% on the persistent HiGHS
+    backend -- dual-ray bounds jump the upward gallop past refuted
+    milestones, and the interior-optimum re-check of the winning probe
+    eliminates the downward confirmation solves -- while returning
+    bit-identical S* milestone outcomes (within solver tolerance) on every
+    replan.  Both strategies replay the same recorded problem stream, so the
+    comparison is exact; the per-replan histogram lands in ``BENCH_lp.json``
+    (uploaded by CI).
+    """
+    platform_spec = PlatformSpec(
+        n_clusters=3, processors_per_cluster=10, n_databanks=3, availability=0.6
+    )
+    workload_spec = WorkloadSpec(density=3.0, window=45.0, max_jobs=60)
+    instance = generate_instance(platform_spec, workload_spec, rng=11)
+    assert instance.n_jobs >= 50
+    backend_name = "highs" if highs_available() else "scipy"
+    problems = _record_replan_problems(instance, backend_name)
+    assert len(problems) >= 30, f"only {len(problems)} replans recorded"
+
+    def run():
+        gallop = _replay_search(instance, problems, backend_name, "gallop")
+        certificate = _replay_search(instance, problems, backend_name, "certificate")
+        return gallop, certificate
+
+    (g_obj, g_stats), (c_obj, c_stats) = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Hard gate 1: bit-identical S* milestone outcomes (within solver
+    # tolerance) on every replan.  1e-8 is the documented HiGHS comparison
+    # tolerance: the two strategies reach the winning LP through different
+    # warm bases, which may land on different (equally optimal) degenerate
+    # vertices; observed replay agreement is ~1e-15.
+    assert len(g_obj) == len(c_obj) == len(problems)
+    for replan, (a, b) in enumerate(zip(g_obj, c_obj)):
+        assert b == pytest.approx(a, rel=1e-8), (
+            f"S* diverged at replan {replan}: gallop={a!r} certificate={b!r}"
+        )
+
+    g_solved = [solved for solved, _skipped in g_stats.searches]
+    c_solved = [solved for solved, _skipped in c_stats.searches]
+    assert len(g_solved) == len(c_solved) == len(problems)
+    g_median = statistics.median(g_solved)
+    c_median = statistics.median(c_solved)
+    reduction = 1.0 - c_median / g_median
+    update_json_artifact(
+        "BENCH_lp.json",
+        "probe_elimination",
+        {
+            "benchmark": "bench_certificate_probe_elimination",
+            "backend": backend_name,
+            "n_jobs": instance.n_jobs,
+            "n_replans": len(problems),
+            "gallop": {
+                "total_solved": sum(g_solved),
+                "median_solved_per_replan": g_median,
+                "histogram": g_stats.histogram(),
+            },
+            "certificate": {
+                "total_solved": sum(c_solved),
+                "median_solved_per_replan": c_median,
+                "histogram": c_stats.histogram(),
+            },
+            "median_probe_reduction": reduction,
+        },
+    )
+
+    if backend_name != "highs":
+        pytest.skip("HiGHS bindings unavailable; scipy probe baseline recorded")
+    # Hard gate 2: >= 30% median reduction in LP probes actually solved per
+    # replan at 60 jobs on the highs backend.
+    assert reduction >= 0.30, (
+        f"certificate search only cut the median probes/replan by "
+        f"{reduction:.0%} ({g_median} -> {c_median}; target >= 30%)"
     )
 
 

@@ -16,7 +16,7 @@ actually pays.
 
 from __future__ import annotations
 
-from repro.experiments.overhead import scheduling_overhead
+from repro.experiments.overhead import OVERHEAD_TABLE_HEADERS, scheduling_overhead
 from repro.lp.backends import record_lp_probes
 from repro.schedulers.registry import make_scheduler
 from repro.simulation.engine import simulate
@@ -45,11 +45,7 @@ def bench_scheduling_overhead_comparison(benchmark):
         )
 
     records = benchmark.pedantic(run, rounds=1, iterations=1)
-    table = TextTable(
-        headers=["Scheduler", "mean sched time (s)", "max sched time (s)",
-                 "mean decisions", "instances"],
-        float_format=".4f",
-    )
+    table = TextTable(headers=list(OVERHEAD_TABLE_HEADERS), float_format=".4f")
     for record in records:
         table.add_row(record.cells())
     write_artifact("overhead_section53.txt", table.render())

@@ -24,18 +24,24 @@ the *incremental replanning pipeline* spanning the starred modules::
     repro
     |-- core/          jobs, platforms, instances, schedules, metrics, Lemma 1
     |-- lp/            the System (1)/(2) linear programs
-    |   |-- problem      LP data model (jobs, resources, deadlines affine in F)
+    |   |-- problem      LP data model (jobs, resources, deadlines affine in
+    |   |                F; JobTable replan fast path, cached lookup arrays)
     |   |-- milestones   objective values where the interval structure changes
     |   |-- intervals    epochal times -> elementary interval structures
-    |   |-- maxstretch * System (1): skeleton-built LPs, warm-startable search
+    |   |-- maxstretch * System (1): skeleton-built LPs (vectorized COO-block
+    |   |                assembly) + the certificate-guided parametric search
+    |   |                (dual-ray bounds skip probes; interior-optimum exit)
     |   |-- relaxation * System (2): sum-stretch-like re-optimization
-    |   |-- incremental* ReplanContext: caches + S* warm start across replans
+    |   |-- incremental* ReplanContext: caches + S* warm start + carried
+    |   |                certificate bound across replans
     |   |-- aggregation  LP allocations -> per-machine work slices
-    |   |-- solver     * sparse COO program builder over pluggable backends
-    |   `-- backends/  * LP solver backends + probe timing hooks
+    |   |-- solver     * sparse COO program builder (scalar + block APIs)
+    |   |                over pluggable backends
+    |   `-- backends/  * LP solver backends + probe timing/histogram hooks
     |       |-- scipy_backend  one-shot scipy.optimize.linprog (default)
-    |       `-- highs  *       persistent HiGHS models: delta updates + basis
-    |                          warm starts across milestone probes and replans
+    |       `-- highs  *       persistent HiGHS models: delta updates, basis
+    |                          warm starts + dual-ray certificates across
+    |                          milestone probes and replans
     |-- simulation/    the fluid discrete-event engine
     |   |-- clock      * heap-based event queue, batched simultaneous arrivals
     |   |-- engine     * the step loop: dispatch, assign, advance, complete

@@ -67,7 +67,11 @@ from repro.experiments.merge import (
     merge_journals,
     write_merged_journal,
 )
-from repro.experiments.overhead import DEFAULT_OVERHEAD_SCHEDULERS, scheduling_overhead
+from repro.experiments.overhead import (
+    DEFAULT_OVERHEAD_SCHEDULERS,
+    OVERHEAD_TABLE_HEADERS,
+    scheduling_overhead,
+)
 from repro.experiments.runner import run_campaign
 from repro.experiments.sharding import parse_shard_spec
 from repro.experiments.tables import breakdown_tables, table1
@@ -641,10 +645,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
             (None, True, ""),
             (comparison_keys, False, " (from scratch)"),
         ]
-    table = TextTable(
-        headers=["Scheduler", "mean sched time (s)", "max sched time (s)", "mean decisions",
-                 "instances"]
-    )
+    table = TextTable(headers=list(OVERHEAD_TABLE_HEADERS))
     for keys, incremental, suffix in runs:
         kwargs = {} if keys is None else {"scheduler_keys": keys}
         records = scheduling_overhead(

@@ -25,7 +25,12 @@ from repro.simulation.engine import simulate
 from repro.utils.seeding import derive_seed
 from repro.workload.generator import generate_instance
 
-__all__ = ["OverheadRecord", "scheduling_overhead", "DEFAULT_OVERHEAD_SCHEDULERS"]
+__all__ = [
+    "OverheadRecord",
+    "scheduling_overhead",
+    "DEFAULT_OVERHEAD_SCHEDULERS",
+    "OVERHEAD_TABLE_HEADERS",
+]
 
 #: Strategies compared in the paper's overhead experiment.
 DEFAULT_OVERHEAD_SCHEDULERS: tuple[str, ...] = (
@@ -38,15 +43,39 @@ DEFAULT_OVERHEAD_SCHEDULERS: tuple[str, ...] = (
 )
 
 
+#: Table headers matching :meth:`OverheadRecord.cells` (shared by the CLI
+#: ``overhead`` sub-command and ``benchmarks/bench_overhead.py``).
+OVERHEAD_TABLE_HEADERS: tuple[str, ...] = (
+    "Scheduler",
+    "mean sched time (s)",
+    "max sched time (s)",
+    "mean decisions",
+    "LP solved",
+    "LP skipped",
+    "basis reused",
+    "instances",
+)
+
+
 @dataclass(frozen=True)
 class OverheadRecord:
-    """Average scheduling cost of one strategy over the overhead experiment."""
+    """Average scheduling cost of one strategy over the overhead experiment.
+
+    ``mean_lp_solved`` / ``mean_lp_skipped`` / ``mean_basis_reused`` carry
+    the per-run probe-elimination histogram of the certificate-guided
+    milestone search (all zero for LP-free strategies): LP probes actually
+    solved, milestone candidates eliminated without a solve, and solved
+    probes served from warm persistent-solver state.
+    """
 
     scheduler: str
     mean_scheduler_time: float
     max_scheduler_time: float
     mean_decisions: float
     n_instances: int
+    mean_lp_solved: float = 0.0
+    mean_lp_skipped: float = 0.0
+    mean_basis_reused: float = 0.0
 
     def cells(self) -> list[object]:
         return [
@@ -54,6 +83,9 @@ class OverheadRecord:
             self.mean_scheduler_time,
             self.max_scheduler_time,
             self.mean_decisions,
+            self.mean_lp_solved,
+            self.mean_lp_skipped,
+            self.mean_basis_reused,
             self.n_instances,
         ]
 
@@ -105,6 +137,9 @@ def scheduling_overhead(
     )
     times: dict[str, list[float]] = {key: [] for key in scheduler_keys}
     decisions: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    lp_solved: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    lp_skipped: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    lp_reused: dict[str, list[int]] = {key: [] for key in scheduler_keys}
     names: dict[str, str] = {}
     for replicate in range(replicates):
         seed = derive_seed(base_seed, "overhead", replicate)
@@ -122,6 +157,9 @@ def scheduling_overhead(
                 continue
             times[key].append(result.scheduler_time)
             decisions[key].append(result.n_decisions)
+            lp_solved[key].append(result.lp_probes.n_probes)
+            lp_skipped[key].append(result.lp_probes.n_certificate_skipped)
+            lp_reused[key].append(result.lp_probes.n_basis_reused)
 
     records: list[OverheadRecord] = []
     for key in scheduler_keys:
@@ -134,6 +172,9 @@ def scheduling_overhead(
                 max_scheduler_time=float(np.max(times[key])),
                 mean_decisions=float(np.mean(decisions[key])),
                 n_instances=len(times[key]),
+                mean_lp_solved=float(np.mean(lp_solved[key])),
+                mean_lp_skipped=float(np.mean(lp_skipped[key])),
+                mean_basis_reused=float(np.mean(lp_reused[key])),
             )
         )
     return records

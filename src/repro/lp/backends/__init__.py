@@ -22,6 +22,9 @@ from repro.lp.backends.base import (
     LPSpec,
     SolverBackend,
     WarmStartHint,
+    note_basis_reuse,
+    note_certificate_skips,
+    note_milestone_search,
     record_lp_probes,
 )
 from repro.lp.backends.highs import (
@@ -38,6 +41,9 @@ __all__ = [
     "WarmStartHint",
     "LPProbeStats",
     "record_lp_probes",
+    "note_basis_reuse",
+    "note_certificate_skips",
+    "note_milestone_search",
     "ScipyBackend",
     "HighsPersistentBackend",
     "highs_available",

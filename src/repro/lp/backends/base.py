@@ -43,18 +43,44 @@ __all__ = [
     "SolverBackend",
     "LPProbeStats",
     "record_lp_probes",
+    "note_certificate_skips",
+    "note_basis_reuse",
+    "note_milestone_search",
 ]
 
 
 @dataclass
 class LPResult:
-    """Outcome of a linear program solve."""
+    """Outcome of a linear program solve.
+
+    Attributes
+    ----------
+    dual_ray:
+        Optional infeasibility certificate (Farkas / dual ray) reported by
+        backends that can produce one (the persistent HiGHS backend); always
+        ``None`` on feasible solves and on backends without certificate
+        support (the one-shot scipy path), in which case callers degrade
+        gracefully.  The array holds one multiplier per constraint row
+        (inequality rows first, then equality rows, matching
+        :class:`LPSpec`), sign-normalized so that the multipliers of the
+        ``<=`` rows are non-negative and the aggregated constraint
+
+        .. math:: \\sum_i y_i (A x)_i \\le \\sum_i y_i b_i
+
+        is violated by *every* point of the variable box: the minimum of the
+        left-hand side over the bounds exceeds the right-hand side.  The
+        milestone search evaluates this combination as an affine function of
+        the objective ``F`` (the RHS is affine in ``F``) to refute whole
+        ranges of milestones without solving them
+        (:mod:`repro.lp.maxstretch`).
+    """
 
     status: int
     feasible: bool
     objective: float
     values: np.ndarray
     message: str = ""
+    dual_ray: "np.ndarray | None" = None
 
     def value(self, index: int) -> float:
         """Value of variable ``index`` in the optimal solution."""
@@ -191,11 +217,34 @@ class SolverBackend(ABC):
 
 @dataclass
 class LPProbeStats:
-    """Accumulated LP solve cost observed inside a :func:`record_lp_probes` block."""
+    """Accumulated LP solve cost observed inside a :func:`record_lp_probes` block.
+
+    Beyond the historical solve counters, the block also collects the
+    *probe-elimination histogram* of the certificate-guided milestone search
+    (:mod:`repro.lp.maxstretch`): how many milestone probes were actually
+    solved, how many were skipped outright by a dual-ray certificate bound
+    or the interior-optimum re-check, and how many solved probes were served
+    warm by the persistent backend (delta update on a live model or a
+    transplanted basis instead of a cold factorization).
+    """
 
     n_probes: int = 0
     solve_seconds: float = 0.0
     by_backend: dict[str, int] = field(default_factory=dict)
+    #: Milestone probes eliminated without an LP solve (certificate jumps
+    #: plus downward probes pruned by the interior-optimum re-check).
+    n_certificate_skipped: int = 0
+    #: Solved probes served from warm persistent-solver state (delta update
+    #: or successful basis transplant) instead of a cold build.
+    n_basis_reused: int = 0
+    #: Milestone searches ended by the interior-optimum short circuit (the
+    #: winning probe's own optimum proved global optimality, so the
+    #: downward confirmation probe was never solved).
+    n_interior_exits: int = 0
+    #: Per-search ``(solved, skipped)`` probe counts, one entry per milestone
+    #: search, in completion order (feeds the per-replan medians of
+    #: ``benchmarks/bench_lp_scaling.py``).
+    searches: list[tuple[int, int]] = field(default_factory=list)
 
     @property
     def per_probe_seconds(self) -> float:
@@ -205,6 +254,15 @@ class LPProbeStats:
     def fraction_of(self, total_seconds: float) -> float:
         """LP-solve share of ``total_seconds`` (e.g. the scheduler wall-clock)."""
         return self.solve_seconds / total_seconds if total_seconds > 0 else 0.0
+
+    def histogram(self) -> dict[str, int]:
+        """The probe-count histogram: solved vs certificate-skipped vs basis-reused."""
+        return {
+            "solved": self.n_probes,
+            "certificate_skipped": self.n_certificate_skipped,
+            "basis_reused": self.n_basis_reused,
+            "interior_exits": self.n_interior_exits,
+        }
 
 
 #: Stack of active stat collectors (nested ``record_lp_probes`` blocks all see
@@ -217,6 +275,28 @@ def _note_probe(backend_name: str, seconds: float) -> None:
         stats.n_probes += 1
         stats.solve_seconds += seconds
         stats.by_backend[backend_name] = stats.by_backend.get(backend_name, 0) + 1
+
+
+def note_certificate_skips(count: int) -> None:
+    """Record ``count`` milestone probes eliminated without an LP solve."""
+    if count <= 0:
+        return
+    for stats in _ACTIVE_STATS:
+        stats.n_certificate_skipped += count
+
+
+def note_basis_reuse() -> None:
+    """Record one solved probe served from warm persistent-solver state."""
+    for stats in _ACTIVE_STATS:
+        stats.n_basis_reused += 1
+
+
+def note_milestone_search(solved: int, skipped: int, interior_exit: bool) -> None:
+    """Record the probe economy of one completed milestone search."""
+    for stats in _ACTIVE_STATS:
+        stats.searches.append((solved, skipped))
+        if interior_exit:
+            stats.n_interior_exits += 1
 
 
 @contextmanager

@@ -46,7 +46,13 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.errors import SolverError
-from repro.lp.backends.base import LPResult, LPSpec, SolverBackend, WarmStartHint
+from repro.lp.backends.base import (
+    LPResult,
+    LPSpec,
+    SolverBackend,
+    WarmStartHint,
+    note_basis_reuse,
+)
 
 __all__ = ["HighsPersistentBackend", "highs_available", "highs_source"]
 
@@ -242,6 +248,7 @@ class HighsPersistentBackend(SolverBackend):
             self._models.move_to_end(key)
             self._apply_deltas(entry, spec)
             self.n_delta_updates += 1
+            note_basis_reuse()  # the live model keeps its basis across deltas
             return self._run(entry.highs, spec, warm=warm)
         solver = self._new_solver()
         if warm is not None:
@@ -447,6 +454,7 @@ class HighsPersistentBackend(SolverBackend):
         basis.valid = True
         if highs.setBasis(basis) != api.HighsStatus.kError:
             self.n_basis_transplants += 1
+            note_basis_reuse()
 
     def _capture_basis(self, highs, warm: WarmStartHint) -> None:
         basis = highs.getBasis()
@@ -460,6 +468,39 @@ class HighsPersistentBackend(SolverBackend):
             *_sorted_side(warm.col_ids, col_status),
             *_sorted_side(warm.row_ids, row_status),
         )
+
+    # -- infeasibility certificates --------------------------------------------------
+    def _extract_dual_ray(self, highs, spec: LPSpec) -> "np.ndarray | None":
+        """The Farkas certificate of an infeasible solve, sign-normalized.
+
+        HiGHS only has a dual ray when simplex proved the infeasibility (the
+        warm-series models run with presolve off, so milestone probes
+        qualify); when presolve concluded first -- or the bindings predate
+        ``getDualRay`` -- ``None`` is returned and callers degrade to the
+        uncertified search.  HiGHS reports the ray with multipliers that are
+        non-positive on ``<=`` rows; it is negated here to match the
+        :class:`~repro.lp.backends.base.LPResult` contract (non-negative
+        multipliers on inequality rows, aggregated constraint violated from
+        below).
+        """
+        get_exist = getattr(highs, "getDualRayExist", None)
+        get_ray = getattr(highs, "getDualRay", None)
+        if get_ray is None:
+            return None
+        try:
+            if get_exist is not None:
+                _status, exists = get_exist()
+                if not exists:
+                    return None
+            _status, has_ray, ray = get_ray()
+        except (TypeError, ValueError):  # unexpected binding signature
+            return None
+        if not has_ray:
+            return None
+        ray = -np.asarray(ray, dtype=np.float64)
+        if ray.size != spec.n_rows or not np.all(np.isfinite(ray)):
+            return None
+        return ray
 
     # -- solve + status mapping --------------------------------------------------------
     def _run(self, highs, spec: LPSpec, warm: WarmStartHint | None) -> LPResult:
@@ -494,7 +535,9 @@ class HighsPersistentBackend(SolverBackend):
             # start for the neighbouring probes as an optimal one.
             if warm is not None:
                 self._capture_basis(highs, warm)
-            return self.infeasible_result(spec, "Infeasible (HiGHS persistent)")
+            result = self.infeasible_result(spec, "Infeasible (HiGHS persistent)")
+            result.dual_ray = self._extract_dual_ray(highs, spec)
+            return result
         status_text = highs.modelStatusToString(model_status)
         raise SolverError(
             f"HiGHS solve failed (run status {run_status}, model status {status_text})"

@@ -31,6 +31,11 @@ class ScipyBackend(SolverBackend):
     retried once with ``highs-ipm``, whose iteration economy differs enough
     from dual simplex to clear the limit on the rare degenerate programs that
     hit it.  Only a second failure raises :class:`SolverError`.
+
+    :func:`scipy.optimize.linprog` does not expose Farkas certificates, so
+    infeasible results carry ``dual_ray=None`` and the certificate-guided
+    milestone search degrades gracefully to its uncertified probe order
+    (identical results, more LP solves).
     """
 
     name = "scipy"

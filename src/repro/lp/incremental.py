@@ -10,8 +10,10 @@ work is identical:
 * the per-job **flow factors** (ideal times) are invariants of the instance;
 * the optimal max-stretch :math:`S^*` moves little from one release date to
   the next, so the milestone search can be **warm-started** at the previous
-  optimum and usually terminates within 2-3 LP probes instead of the dozen
-  probes of a cold gallop + binary search;
+  optimum -- and the previous search's strongest **infeasibility
+  certificate**, re-evaluated against the new remaining works, prunes the
+  next search further still (arrival ``k+1`` starts above every milestone
+  the carried dual ray refutes);
 * the winning System (1) probe and the System (2) re-optimization that
   follows share the same milestone interval, so their **constraint
   skeletons** (variable indexing and row grouping) are identical and cached.
@@ -42,12 +44,16 @@ from repro.lp.backends import SolverBackend, make_backend
 from repro.lp.maxstretch import (
     ConstraintSkeleton,
     MaxStretchSolution,
+    MilestoneSearchReport,
+    SearchCertificate,
     minimize_max_weighted_flow,
 )
 from repro.lp.problem import (
+    JobTable,
     MaxStretchProblem,
     Resource,
     build_eligibility,
+    build_job_table,
     build_resources,
     problem_from_instance,
 )
@@ -84,8 +90,17 @@ class ReplanContext:
     last_objective:
         The optimal max weighted flow of the previous replan (``None`` before
         the first); used to warm-start the next milestone search.
+    last_certificate:
+        The strongest infeasibility certificate of the previous milestone
+        search (``None`` without certificate support).  Re-evaluated against
+        the next replan's remaining works, it raises the warm start above
+        every milestone the carried dual ray still refutes -- a pure
+        probe-order hint, so results are unaffected.
     n_replans:
         Number of System (1) resolutions performed through this context.
+    n_probes_solved / n_probes_skipped:
+        Accumulated milestone-search probe economy across the context's
+        replans (solved LPs vs candidates eliminated without a solve).
     backend:
         The resolved :class:`~repro.lp.backends.SolverBackend`.
     """
@@ -95,19 +110,27 @@ class ReplanContext:
         instance: Instance,
         *,
         solver_backend: "str | SolverBackend | None" = None,
+        milestone_search: str | None = None,
     ):
         self.instance = instance
         self.resources: tuple[Resource, ...] = build_resources(instance)
         self.eligibility: dict[str | None, tuple[int, ...]] = build_eligibility(
             instance, self.resources
         )
+        self.job_table: JobTable = build_job_table(
+            instance, self.resources, self.eligibility
+        )
         self.backend: SolverBackend = make_backend(solver_backend)
         # A caller-supplied backend instance may have served a previous run;
         # drop its live models/bases so warm starts never cross simulations
         # (no-op for the freshly made or stateless backends).
         self.backend.close()
+        self.milestone_search = milestone_search
         self.last_objective: float | None = None
+        self.last_certificate: SearchCertificate | None = None
         self.n_replans: int = 0
+        self.n_probes_solved: int = 0
+        self.n_probes_skipped: int = 0
         self._skeletons: dict[tuple, ConstraintSkeleton] = {}
 
     # -- problem construction ------------------------------------------------------
@@ -117,8 +140,9 @@ class ReplanContext:
         """The on-line problem at time ``now`` for the active jobs.
 
         Identical to ``problem_from_instance(instance, now=now,
-        remaining=remaining)`` but skipping the capability-class and
-        eligibility recomputation.
+        remaining=remaining)`` but skipping the capability-class,
+        eligibility and per-job weight recomputation (the array-backed
+        :class:`~repro.lp.problem.JobTable` fast path).
         """
         return problem_from_instance(
             self.instance,
@@ -126,21 +150,44 @@ class ReplanContext:
             remaining=remaining,
             resources=self.resources,
             eligibility=self.eligibility,
+            job_table=self.job_table,
         )
 
     # -- solves --------------------------------------------------------------------
     def solve_max_stretch(self, problem: MaxStretchProblem) -> MaxStretchSolution:
-        """System (1), warm-started at the previous replan's optimum."""
+        """System (1), warm-started at the previous optimum and certificate.
+
+        The warm start is the previous replan's :math:`S^*`, raised to the
+        carried certificate's re-evaluated bound when that refutes more
+        (e.g. after a burst of arrivals increased the load).  Both only
+        choose the first probed milestone interval; the search stays exact.
+        """
+        report = MilestoneSearchReport()
         solution = minimize_max_weighted_flow(
             problem,
-            warm_start=self.last_objective,
+            warm_start=self._warm_hint(problem),
             skeleton_cache=self._skeletons,
             backend=self.backend,
+            search=self.milestone_search,
+            report=report,
         )
         self.last_objective = solution.objective
+        self.last_certificate = report.certificate or self.last_certificate
         self.n_replans += 1
+        self.n_probes_solved += report.n_solved
+        self.n_probes_skipped += report.n_skipped
         self._trim_skeletons()
         return solution
+
+    def _warm_hint(self, problem: MaxStretchProblem) -> float | None:
+        """The milestone-search warm start for ``problem`` (None on the first replan)."""
+        hint = self.last_objective
+        if self.last_certificate is not None:
+            works = {job.job_id: job.remaining_work for job in problem.jobs}
+            bound = self.last_certificate.bound_for(works)
+            if bound is not None and (hint is None or bound > hint):
+                hint = bound
+        return hint
 
     def reoptimize(
         self, problem: MaxStretchProblem, objective: float

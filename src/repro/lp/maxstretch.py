@@ -6,17 +6,31 @@ The off-line optimal maximum weighted flow is computed by
    least its ideal time) and a trivial upper bound (serial execution),
 2. enumerating the *milestones* inside the bracket
    (:mod:`repro.lp.milestones`),
-3. binary-searching the first milestone interval on which the parametric
-   linear program System (1) is feasible, and
+3. locating the first milestone interval on which the parametric linear
+   program System (1) is feasible, and
 4. returning that LP's minimizer, which is the global optimum because
    feasibility of "max weighted flow <= F" is monotone in ``F``.
+
+Step 3 is a *certificate-guided parametric search*: because the deadline
+right-hand sides are affine in the objective ``F``, the Farkas/dual-ray
+certificate of an infeasible probe evaluates to an affine function
+``g(F) = A + B F`` that every feasible objective must keep non-negative, so
+a single infeasible solve refutes every milestone below ``-A/B`` and the
+search jumps straight past them.  Symmetrically, a feasible probe whose LP
+optimum lands *strictly inside* its milestone interval is already the global
+optimum (monotone feasibility), so the downward confirmation probes of the
+classical gallop are skipped outright.  Backends without certificate support
+(the one-shot scipy path) degrade to the uncertified probe order; results
+are identical either way, only the number of LPs actually solved changes
+(``search="gallop"`` keeps the legacy gallop + bisection as a reference).
 
 The LP works on *resources* (capability classes) rather than individual
 machines; variables are the amounts of work ``x[t, c, j]`` of job ``j``
 processed on resource ``c`` during elementary interval ``t``, plus the
 objective ``F`` itself.  Constraints are exactly (1a)-(1e) of the paper:
 interval/resource capacities (affine in ``F``), structural zeros outside the
-[earliest start, deadline] window, and per-job completeness.
+[earliest start, deadline] window, and per-job completeness -- assembled as
+whole numpy COO blocks from index arrays cached on the skeleton.
 """
 
 from __future__ import annotations
@@ -29,7 +43,12 @@ from typing import Mapping, MutableMapping, Sequence
 import numpy as np
 
 from repro.core.errors import InfeasibleError
-from repro.lp.backends import SolverBackend, WarmStartHint
+from repro.lp.backends import (
+    SolverBackend,
+    WarmStartHint,
+    note_certificate_skips,
+    note_milestone_search,
+)
 from repro.lp.intervals import IntervalStructure, build_interval_structure
 from repro.lp.milestones import enumerate_milestones
 from repro.lp.problem import MaxStretchProblem
@@ -38,12 +57,20 @@ from repro.lp.solver import LinearProgramBuilder
 __all__ = [
     "MaxStretchSolution",
     "ConstraintSkeleton",
+    "SearchCertificate",
+    "MilestoneSearchReport",
     "build_skeleton",
     "model_key",
     "warm_hint",
     "minimize_max_weighted_flow",
     "solve_on_objective_range",
 ]
+
+#: Default milestone-search strategy: ``"certificate"`` (dual-ray guided
+#: parametric search) or ``"gallop"`` (the legacy bidirectional gallop +
+#: bisection, kept as the reference the certificate search is gated
+#: against).  Overridable per call through ``minimize_max_weighted_flow``.
+DEFAULT_SEARCH = "certificate"
 
 #: Work amounts below this threshold (relative to the job's remaining work)
 #: are dropped from the reported allocation.
@@ -348,6 +375,87 @@ def warm_hint(
     )
 
 
+class _AssemblyArrays:
+    """Numpy index arrays deriving the COO constraint blocks from a skeleton.
+
+    Everything here is a pure re-indexing of the skeleton's group tuples --
+    problem-independent (speeds and remaining works are applied per solve),
+    built once per skeleton and stashed in its instance dict (pure cache,
+    like the warm-hint identities), so successive probes sharing a skeleton
+    assemble their constraint matrices without any per-entry Python loop.
+    """
+
+    __slots__ = (
+        "cap_entry_rows",
+        "cap_entry_cols",
+        "cap_c",
+        "cap_len_const",
+        "cap_len_coef",
+        "comp_entry_rows",
+        "comp_entry_cols",
+        "comp_job_pos",
+        "key_t",
+        "key_jpos",
+        "bnd_const",
+        "bnd_coef",
+    )
+
+    def __init__(self, skeleton: "ConstraintSkeleton"):
+        structure = skeleton.structure
+        cap_groups = skeleton.capacity_groups
+        n_cap = len(cap_groups)
+        sizes = np.fromiter((len(p) for _tc, p in cap_groups), dtype=np.int64, count=n_cap)
+        self.cap_entry_rows = np.repeat(np.arange(n_cap, dtype=np.int64), sizes)
+        self.cap_entry_cols = np.fromiter(
+            (p for _tc, ps in cap_groups for p in ps), dtype=np.int64, count=int(sizes.sum())
+        )
+        self.cap_c = np.fromiter((tc[1] for tc, _ps in cap_groups), dtype=np.int64, count=n_cap)
+        lengths = [structure.interval_length(tc[0]) for tc, _ps in cap_groups]
+        self.cap_len_const = np.fromiter(
+            (ln.const for ln in lengths), dtype=np.float64, count=n_cap
+        )
+        self.cap_len_coef = np.fromiter(
+            (ln.coef for ln in lengths), dtype=np.float64, count=n_cap
+        )
+
+        comp_groups = skeleton.completeness_groups
+        n_comp = len(comp_groups)
+        comp_sizes = np.fromiter(
+            (len(p) for _pj, p in comp_groups), dtype=np.int64, count=n_comp
+        )
+        self.comp_entry_rows = np.repeat(np.arange(n_comp, dtype=np.int64), comp_sizes)
+        self.comp_entry_cols = np.fromiter(
+            (p for _pj, ps in comp_groups for p in ps),
+            dtype=np.int64,
+            count=int(comp_sizes.sum()),
+        )
+        self.comp_job_pos = np.fromiter(
+            (pj for pj, _ps in comp_groups), dtype=np.int64, count=n_comp
+        )
+
+        n_keys = len(skeleton.keys)
+        self.key_t = np.fromiter((t for t, _c, _j in skeleton.keys), dtype=np.int64, count=n_keys)
+        self.key_jpos = np.empty(n_keys, dtype=np.int64)
+        self.key_jpos[self.comp_entry_cols] = self.comp_job_pos[self.comp_entry_rows]
+
+        boundaries = structure.boundaries
+        self.bnd_const = np.fromiter(
+            (b.const for b in boundaries), dtype=np.float64, count=len(boundaries)
+        )
+        self.bnd_coef = np.fromiter(
+            (b.coef for b in boundaries), dtype=np.float64, count=len(boundaries)
+        )
+
+
+def _assembly_arrays(skeleton: ConstraintSkeleton) -> _AssemblyArrays:
+    """The cached :class:`_AssemblyArrays` of ``skeleton`` (built on first use)."""
+    cache = skeleton.__dict__.get("_assembly")
+    if cache is None:
+        cache = _AssemblyArrays(skeleton)
+        object.__setattr__(skeleton, "_assembly", cache)
+    return cache
+
+
 def _assemble_constraints(
     builder: LinearProgramBuilder,
     problem: MaxStretchProblem,
@@ -357,29 +465,163 @@ def _assemble_constraints(
     f_var: int | None,
     objective_value: float | None,
 ) -> None:
-    """Emit constraints (1d)/(1e) from a skeleton.
+    """Emit constraints (1d)/(1e) from a skeleton as vectorized COO blocks.
 
     ``offset`` is the index of the first x variable in the builder (1 when
     the objective variable ``F`` precedes them, 0 for fixed-objective
-    solves); row order matches the historical builder exactly.
+    solves); the row order (capacity rows sorted by (interval, resource),
+    then completeness rows in job order), the sparsity pattern (zero ``F``
+    coefficients dropped) and every coefficient value match the historical
+    per-row builder exactly.
     """
-    structure = skeleton.structure
-    for (t, c), positions in skeleton.capacity_groups:
-        length = structure.interval_length(t)
-        speed = problem.resources[c].speed
-        terms: list[tuple[int, float]] = [(pos + offset, 1.0) for pos in positions]
-        if f_var is not None:
-            terms.append((f_var, -speed * length.coef))
-            rhs = speed * length.const
-        else:
-            assert objective_value is not None
-            rhs = speed * max(0.0, length.at(objective_value))
-        builder.add_leq(terms, rhs)
-    for pos_job, positions in skeleton.completeness_groups:
-        builder.add_eq(
-            [(pos + offset, 1.0) for pos in positions],
-            problem.jobs[pos_job].remaining_work,
+    arrays = _assembly_arrays(skeleton)
+    speeds = problem.resource_speeds()[arrays.cap_c]
+    x_vals = np.ones(arrays.cap_entry_cols.size, dtype=np.float64)
+    if f_var is not None:
+        f_coefs = -(speeds * arrays.cap_len_coef)
+        nonzero = np.nonzero(f_coefs)[0]
+        rows = np.concatenate([arrays.cap_entry_rows, nonzero])
+        cols = np.concatenate(
+            [arrays.cap_entry_cols + offset, np.full(nonzero.size, f_var, dtype=np.int64)]
         )
+        vals = np.concatenate([x_vals, f_coefs[nonzero]])
+        rhs = speeds * arrays.cap_len_const
+    else:
+        assert objective_value is not None
+        rows = arrays.cap_entry_rows
+        cols = arrays.cap_entry_cols + offset
+        vals = x_vals
+        rhs = speeds * np.maximum(
+            0.0, arrays.cap_len_const + arrays.cap_len_coef * objective_value
+        )
+    builder.add_leq_block(rows, cols, vals, rhs)
+
+    works = problem.remaining_works()
+    builder.add_eq_block(
+        arrays.comp_entry_rows,
+        arrays.comp_entry_cols + offset,
+        np.ones(arrays.comp_entry_cols.size, dtype=np.float64),
+        works[arrays.comp_job_pos],
+    )
+
+
+@dataclass(frozen=True)
+class SearchCertificate:
+    """A Farkas certificate of a milestone probe, in re-evaluable form.
+
+    The aggregated constraint of an infeasible System (1) probe reads
+
+    .. math:: g(F) = A + B F
+              = \\Big(\\underbrace{\\sum u\\, s\\, \\ell^{const}}_{capacity\\_const}
+                + \\sum_j v_j W_j\\Big)
+                + \\underbrace{\\sum u\\, s\\, \\ell^{coef}}_{capacity\\_coef}\\, F
+
+    and every feasible objective satisfies ``g(F) >= 0``, so ``F >= -A/B``
+    (for ``B > 0``) is a closed-form lower bound derived without solving any
+    further LP.  Keeping the completeness multipliers ``v`` keyed by job id
+    lets the :class:`~repro.lp.incremental.ReplanContext` *re-evaluate* the
+    combination against the next replan's remaining works: the resulting
+    bound is only a probe-order hint there (the interval structure moved
+    with the clock), but it starts the next search already pruned.
+    """
+
+    capacity_const: float
+    capacity_coef: float
+    v_by_job: Mapping[int, float]
+
+    def bound_for(self, works: Mapping[int, float]) -> float | None:
+        """The certificate's objective lower bound for updated remaining works.
+
+        Jobs absent from ``works`` (completed since the certificate was
+        collected) drop out of the combination; returns ``None`` when the
+        coefficient of ``F`` is too small to divide by.
+        """
+        if self.capacity_coef <= _RAY_COEF_EPS:
+            return None
+        load = sum(
+            v * works[job_id] for job_id, v in self.v_by_job.items() if job_id in works
+        )
+        return -(self.capacity_const + load) / self.capacity_coef
+
+
+@dataclass
+class ProbeOutcome:
+    """Mutable side channel filled by :func:`solve_on_objective_range`.
+
+    ``certificate_bound``/``certificate`` are populated on infeasible probes
+    whose backend produced a dual ray (persistent HiGHS); they stay ``None``
+    on feasible probes and on certificate-less backends.
+    """
+
+    certificate_bound: float | None = None
+    certificate: SearchCertificate | None = None
+
+
+@dataclass
+class MilestoneSearchReport:
+    """Probe economy of one milestone search (filled when requested).
+
+    Attributes
+    ----------
+    n_solved / n_skipped:
+        LP probes actually solved vs milestone intervals eliminated without
+        a solve (certificate jumps and the interior-optimum re-check).
+    interior_exit:
+        True when the search ended because the winning probe's optimum lay
+        strictly inside its milestone interval (global optimality by
+        monotone feasibility -- no downward confirmation probe needed).
+    certificate:
+        The strongest :class:`SearchCertificate` collected (highest bound),
+        for cross-replan carry; ``None`` without certificate support.
+    """
+
+    n_solved: int = 0
+    n_skipped: int = 0
+    interior_exit: bool = False
+    certificate: SearchCertificate | None = None
+
+
+#: Coefficients of F below this threshold make a certificate bound
+#: numerically meaningless (division blows up); such rays are discarded.
+_RAY_COEF_EPS = 1e-12
+
+#: Relative margin by which a feasible probe's optimum must clear its
+#: interval's lower boundary before the interior-optimum short circuit
+#: declares it globally optimal.  Must exceed the LP solvers' objective
+#: tolerance (~1e-9) so a boundary optimum is never mistaken for an
+#: interior one; at a true interior optimum the margin is the distance to
+#: the previous milestone, orders of magnitude larger.
+_INTERIOR_RTOL = 1e-7
+
+
+def _probe_certificate(
+    problem: MaxStretchProblem,
+    skeleton: ConstraintSkeleton,
+    dual_ray: np.ndarray,
+    outcome: "ProbeOutcome",
+) -> None:
+    """Evaluate a dual ray as an affine function of F and fill ``outcome``."""
+    n_cap = len(skeleton.capacity_groups)
+    if dual_ray.size != n_cap + len(skeleton.completeness_groups):
+        return
+    arrays = _assembly_arrays(skeleton)
+    u = dual_ray[:n_cap]
+    v = dual_ray[n_cap:]
+    cap_speed = problem.resource_speeds()[arrays.cap_c]
+    certificate = SearchCertificate(
+        capacity_const=float(u @ (cap_speed * arrays.cap_len_const)),
+        capacity_coef=float(u @ (cap_speed * arrays.cap_len_coef)),
+        v_by_job={
+            job.job_id: float(v[pos]) for pos, job in enumerate(problem.jobs) if v[pos] != 0.0
+        },
+    )
+    bound = certificate.bound_for(
+        {job.job_id: job.remaining_work for job in problem.jobs}
+    )
+    if bound is None or not math.isfinite(bound):
+        return
+    outcome.certificate_bound = bound
+    outcome.certificate = certificate
 
 
 def solve_on_objective_range(
@@ -389,6 +631,7 @@ def solve_on_objective_range(
     *,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
     backend: SolverBackend | None = None,
+    outcome: ProbeOutcome | None = None,
 ) -> MaxStretchSolution | None:
     """Solve System (1) restricted to objective values in ``[f_low, f_high]``.
 
@@ -398,7 +641,9 @@ def solve_on_objective_range(
     sharing the same interval structure (see :class:`ConstraintSkeleton`);
     ``backend`` selects the LP solver backend (persistent backends
     additionally reuse live solver models across probes sharing a skeleton
-    pattern, keyed by :func:`model_key`).
+    pattern, keyed by :func:`model_key`).  ``outcome``, when provided,
+    receives the infeasibility certificate of a refused probe (backends
+    without dual-ray support leave it empty).
     """
     if not problem.jobs:
         return MaxStretchSolution(
@@ -419,8 +664,7 @@ def solve_on_objective_range(
 
     builder = LinearProgramBuilder()
     f_var = builder.add_variable(objective=1.0, lower=f_low, upper=f_high, name="F")
-    for t, c, j in skeleton.keys:
-        builder.add_variable(name=f"x[{t},{c},{j}]")
+    builder.add_variables(len(skeleton.keys))
     _assemble_constraints(
         builder, problem, skeleton, offset=1, f_var=f_var, objective_value=None
     )
@@ -431,11 +675,12 @@ def solve_on_objective_range(
         warm = warm_hint(problem, skeleton, with_objective_var=True)
     result = builder.solve(backend=backend, key=key, warm=warm)
     if not result.feasible:
+        if outcome is not None and result.dual_ray is not None:
+            _probe_certificate(problem, skeleton, result.dual_ray, outcome)
         return None
 
     objective = result.value(f_var)
-    var_index = {key: pos + 1 for pos, key in enumerate(skeleton.keys)}
-    allocations = _extract_allocations(problem, var_index, result.values)
+    allocations = _extract_allocations(problem, skeleton, 1, result.values)
     bounds = tuple(structure.bounds_at(objective))
     return MaxStretchSolution(
         objective=objective,
@@ -453,6 +698,8 @@ def minimize_max_weighted_flow(
     warm_start: float | None = None,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
     backend: SolverBackend | None = None,
+    search: str | None = None,
+    report: MilestoneSearchReport | None = None,
 ) -> MaxStretchSolution:
     """Compute the optimal max weighted flow (max-stretch) for ``problem``.
 
@@ -467,21 +714,29 @@ def minimize_max_weighted_flow(
         default (no cap) is exact.
     warm_start:
         Optional objective value expected to be close to the optimum
-        (typically the previous replan's :math:`S^*` in the on-line
-        heuristics).  The milestone search starts at the interval containing
-        it and gallops outward, which usually needs 2-3 LP probes instead of
-        the dozen of a cold search.  Because feasibility is monotone in the
-        objective, the result is *identical* to a cold search -- only the
-        probe order changes.
+        (typically the previous replan's :math:`S^*`, possibly raised by a
+        carried certificate bound, in the on-line heuristics).  The milestone
+        search starts at the interval containing it.  Because feasibility is
+        monotone in the objective, the result is *identical* to a cold
+        search -- only the probe order changes.
     skeleton_cache:
         Optional mapping reusing constraint skeletons across solves (see
         :class:`ConstraintSkeleton`).
     backend:
         LP solver backend; ``None`` uses the one-shot scipy default.  A
         persistent backend (``HighsPersistentBackend``) additionally reuses
-        live solver models between probes sharing a skeleton pattern and
-        warm-starts dual simplex from the previous basis; results are
-        equivalent within solver tolerance.
+        live solver models between probes sharing a skeleton pattern,
+        warm-starts dual simplex from the previous basis, and produces the
+        dual-ray certificates the search prunes with; results are equivalent
+        within solver tolerance.
+    search:
+        ``"certificate"`` (dual-ray guided parametric search, the default)
+        or ``"gallop"`` (the legacy bidirectional gallop + bisection);
+        ``None`` resolves to :data:`DEFAULT_SEARCH`.  Both return the same
+        optimum -- the certificate search solves fewer LPs.
+    report:
+        Optional :class:`MilestoneSearchReport` receiving the search's probe
+        economy and its strongest certificate (for cross-replan carry).
 
     Raises
     ------
@@ -507,7 +762,13 @@ def minimize_max_weighted_flow(
         start_idx = min(max(bisect.bisect_right(boundaries, warm_start) - 1, 0), last)
 
     best = _search_first_feasible(
-        problem, boundaries, start_idx, skeleton_cache=skeleton_cache, backend=backend
+        problem,
+        boundaries,
+        start_idx,
+        skeleton_cache=skeleton_cache,
+        backend=backend,
+        search=search,
+        report=report,
     )
 
     if best is None:
@@ -533,25 +794,196 @@ def _search_first_feasible(
     *,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
     backend: SolverBackend | None = None,
+    search: str | None = None,
+    report: MilestoneSearchReport | None = None,
 ) -> MaxStretchSolution | None:
     """Locate the first feasible milestone interval and return its optimum.
 
     Feasibility of "max weighted flow in [boundaries[i], boundaries[i+1]]" is
     monotone in the interval index ``i``, so the minimizer lives in the first
-    feasible interval.  The search gallops outward from ``start_idx`` --
-    downward while feasible, upward while infeasible, with doubling steps --
-    then binary-searches the bracket found.  With ``start_idx = 0`` this is
-    the classical cold search (the LPs built for small objective values are
-    much smaller, so probing from the low end keeps every probe cheap); a
-    warm ``start_idx`` near the optimum typically needs only 2-3 probes.
+    feasible interval.  Two strategies find it -- ``"certificate"`` (default,
+    :func:`_search_certificate`) and ``"gallop"`` (the legacy reference,
+    :func:`_search_gallop`) -- with identical results by construction: a
+    solution is only ever accepted when its own LP optimum proves global
+    optimality or when the adjacent lower interval was solved infeasible.
+    """
+    mode = DEFAULT_SEARCH if search is None else search
+    if mode == "certificate":
+        return _search_certificate(
+            problem, boundaries, start_idx,
+            skeleton_cache=skeleton_cache, backend=backend, report=report,
+        )
+    if mode == "gallop":
+        return _search_gallop(
+            problem, boundaries, start_idx,
+            skeleton_cache=skeleton_cache, backend=backend, report=report,
+        )
+    raise ValueError(f"unknown milestone search strategy {mode!r}")
+
+
+def _interval_of(boundaries: Sequence[float], value: float, lo: int, hi: int) -> int:
+    """Index of the milestone interval containing ``value``, clamped to [lo, hi]."""
+    idx = bisect.bisect_right(boundaries, value) - 1
+    return min(max(idx, lo), hi)
+
+
+def _is_interior(solution: MaxStretchSolution, lower_boundary: float) -> bool:
+    """Whether the probe's optimum lies strictly inside its milestone interval.
+
+    By monotone feasibility this certifies *global* optimality: were any
+    objective below the interval feasible, every objective above it would be
+    too -- including the sub-optimum part of this interval, contradicting
+    the LP's minimality.  The margin must only exceed the solver's objective
+    tolerance (see :data:`_INTERIOR_RTOL`).
+    """
+    return solution.objective > lower_boundary + _INTERIOR_RTOL * max(1.0, abs(lower_boundary))
+
+
+def _search_certificate(
+    problem: MaxStretchProblem,
+    boundaries: Sequence[float],
+    start_idx: int,
+    *,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
+    report: MilestoneSearchReport | None = None,
+) -> MaxStretchSolution | None:
+    """Certificate-guided parametric search (the default strategy).
+
+    Upward, an infeasible probe's dual ray refutes every milestone below its
+    affine bound ``-A/B``, so the search jumps straight to the first
+    non-refuted interval instead of galloping through the refuted ones.
+    Downward, a feasible probe whose optimum is strictly interior *is* the
+    global optimum (monotone feasibility) and the search stops without the
+    legacy confirmation probes; a boundary optimum falls back to bisection,
+    its pivots biased by any further certificates.
+
+    Certificate bounds only ever choose the *probe order*, never the
+    outcome: beyond its own milestone interval a dual ray is evaluated on a
+    stale interval structure, so its bound may legitimately overshoot the
+    optimum.  Acceptance therefore always requires the interior proof or a
+    solved infeasible probe directly below the accepted interval (``lo``
+    advances exclusively on solved infeasibilities, which refute everything
+    beneath them by monotonicity) -- a misleading bound costs extra probes
+    but can never produce a wrong result.
     """
     last = len(boundaries) - 2
+    solved = 0
+    skipped = 0
+    interior_exit = False
+    strongest_bound = -math.inf
+    strongest: SearchCertificate | None = None
+
+    def probe(i: int) -> tuple[MaxStretchSolution | None, float | None]:
+        nonlocal solved, strongest, strongest_bound
+        outcome = ProbeOutcome()
+        solution = solve_on_objective_range(
+            problem, boundaries[i], boundaries[i + 1],
+            skeleton_cache=skeleton_cache, backend=backend, outcome=outcome,
+        )
+        solved += 1
+        if outcome.certificate is not None and outcome.certificate_bound > strongest_bound:
+            strongest_bound = outcome.certificate_bound
+            strongest = outcome.certificate
+        return solution, outcome.certificate_bound
+
+    def finish(best: MaxStretchSolution | None) -> MaxStretchSolution | None:
+        if report is not None:
+            report.n_solved = solved
+            report.n_skipped = skipped
+            report.interior_exit = interior_exit
+            report.certificate = strongest
+        note_certificate_skips(skipped)
+        note_milestone_search(solved, skipped, interior_exit)
+        return best
+
+    # -- upward phase: find some feasible interval ---------------------------------
+    idx = min(max(start_idx, 0), last)
+    floor = -1  # highest index with a *solved* infeasible probe
+    step = 1
+    best: MaxStretchSolution | None = None
+    while True:
+        solution, bound = probe(idx)
+        if solution is not None:
+            best = solution
+            best_idx = idx
+            break
+        floor = idx
+        if idx == last:
+            return finish(None)
+        nxt = min(idx + step, last)
+        step *= 2
+        if bound is not None:
+            # Jump past every milestone the certificate refutes (never
+            # backward: the gallop step is the uncertified floor).
+            nxt = max(nxt, _interval_of(boundaries, bound, idx + 1, last))
+        idx = nxt
+
+    # -- downward phase: prove best_idx is the *first* feasible interval -----------
+    lo = floor + 1  # lowest index NOT refuted by a solved probe (sound floor)
+    hint: float | None = None
+    while best_idx > lo:
+        if _is_interior(best, boundaries[best_idx]):
+            # The winning probe's own optimum certifies global optimality;
+            # the candidates below are eliminated without solving them.
+            interior_exit = True
+            skipped += best_idx - lo
+            break
+        hi = best_idx - 1
+        if hint is not None:
+            # Probe the interval the last certificate points at (clamped
+            # into the open bracket) instead of the bisection midpoint: a
+            # feasible outcome moves ``best_idx`` down onto it, an
+            # infeasible outcome *soundly* refutes everything below it by
+            # monotonicity.  The bound itself never advances ``lo``.
+            mid = _interval_of(boundaries, hint, lo, hi)
+            hint = None
+        else:
+            mid = (lo + hi) // 2
+        solution, bound = probe(mid)
+        if solution is not None:
+            best = solution
+            best_idx = mid
+        else:
+            if bound is not None and mid + 1 < best_idx:
+                hint = bound
+            lo = mid + 1
+    return finish(best)
+
+
+def _search_gallop(
+    problem: MaxStretchProblem,
+    boundaries: Sequence[float],
+    start_idx: int,
+    *,
+    skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
+    backend: SolverBackend | None = None,
+    report: MilestoneSearchReport | None = None,
+) -> MaxStretchSolution | None:
+    """The legacy bidirectional gallop + bisection (reference strategy).
+
+    Gallops outward from ``start_idx`` -- downward while feasible, upward
+    while infeasible, with doubling steps -- then binary-searches the
+    bracket found.  Solves strictly more LPs than the certificate search
+    (every candidate is settled by an actual solve); kept as the oracle the
+    certificate search is equality-gated against in tests and benchmarks.
+    """
+    last = len(boundaries) - 2
+    solved = 0
 
     def probe(i: int) -> MaxStretchSolution | None:
+        nonlocal solved
+        solved += 1
         return solve_on_objective_range(
             problem, boundaries[i], boundaries[i + 1],
             skeleton_cache=skeleton_cache, backend=backend,
         )
+
+    def finish(best: MaxStretchSolution | None) -> MaxStretchSolution | None:
+        if report is not None:
+            report.n_solved = solved
+        note_milestone_search(solved, 0, False)
+        return best
 
     best: MaxStretchSolution | None = None
     lo = 0
@@ -593,7 +1025,7 @@ def _search_first_feasible(
             idx = min(idx + step, last)
             step *= 2
         if best is None:
-            return None
+            return finish(None)
 
     # Refine inside the bracket (lo..hi are untested indices below the first
     # known-feasible one).
@@ -605,7 +1037,7 @@ def _search_first_feasible(
             hi = mid - 1
         else:
             lo = mid + 1
-    return best
+    return finish(best)
 
 
 # -- shared constraint builders (also used by the System (2) relaxation) -------------
@@ -622,14 +1054,21 @@ def _probe_value(f_low: float, f_high: float) -> float:
 
 def _extract_allocations(
     problem: MaxStretchProblem,
-    var_index: Mapping[tuple[int, int, int], int],
+    skeleton: ConstraintSkeleton,
+    offset: int,
     values: np.ndarray,
 ) -> dict[tuple[int, int, int], float]:
-    """Read the x variables back, dropping numerically-zero allocations."""
-    remaining = {job.job_id: job.remaining_work for job in problem.jobs}
-    allocations: dict[tuple[int, int, int], float] = {}
-    for (t, c, j), idx in var_index.items():
-        value = float(values[idx])
-        if value > _ALLOCATION_EPS * max(1.0, remaining[j]):
-            allocations[(t, c, j)] = value
-    return allocations
+    """Read the x variables back, dropping numerically-zero allocations.
+
+    ``offset`` is the index of the first x variable (1 when the objective
+    variable precedes them).  The per-variable threshold (relative to the
+    job's remaining work, as the historical loop computed it) is evaluated
+    as one vectorized comparison; only the surviving entries pay a Python
+    dict insert.
+    """
+    arrays = _assembly_arrays(skeleton)
+    vals = np.asarray(values)[offset:offset + len(skeleton.keys)]
+    works = problem.remaining_works()
+    threshold = _ALLOCATION_EPS * np.maximum(1.0, works[arrays.key_jpos])
+    keys = skeleton.keys
+    return {keys[i]: float(vals[i]) for i in np.nonzero(vals > threshold)[0]}

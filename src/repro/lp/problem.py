@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.errors import ModelError
 from repro.core.instance import Instance
 
@@ -35,8 +37,10 @@ __all__ = [
     "Affine",
     "Resource",
     "LPJob",
+    "JobTable",
     "MaxStretchProblem",
     "problem_from_instance",
+    "build_job_table",
     "build_resources",
     "build_eligibility",
 ]
@@ -163,10 +167,14 @@ class MaxStretchProblem:
 
     # -- lookups --------------------------------------------------------------
     def job_by_id(self, job_id: int) -> LPJob:
-        for job in self.jobs:
-            if job.job_id == job_id:
-                return job
-        raise KeyError(job_id)
+        """The job with identifier ``job_id`` (cached id -> job map, O(1))."""
+        table = self.__dict__.get("_by_id")
+        if table is None:
+            table = {job.job_id: job for job in self.jobs}
+            # Frozen dataclass: stash derived lookups directly in the
+            # instance dict (pure caches, invisible to equality/hashing).
+            object.__setattr__(self, "_by_id", table)
+        return table[job_id]
 
     @property
     def n_jobs(self) -> int:
@@ -176,10 +184,55 @@ class MaxStretchProblem:
     def n_resources(self) -> int:
         return len(self.resources)
 
+    # -- cached arrays ---------------------------------------------------------
+    def resource_speeds(self) -> np.ndarray:
+        """Per-resource aggregate speeds as a cached float64 array."""
+        speeds = self.__dict__.get("_speeds")
+        if speeds is None:
+            speeds = np.fromiter(
+                (r.speed for r in self.resources), dtype=np.float64, count=len(self.resources)
+            )
+            object.__setattr__(self, "_speeds", speeds)
+        return speeds
+
+    def remaining_works(self) -> np.ndarray:
+        """Per-job remaining works (job order) as a cached float64 array."""
+        works = self.__dict__.get("_works")
+        if works is None:
+            works = np.fromiter(
+                (j.remaining_work for j in self.jobs), dtype=np.float64, count=len(self.jobs)
+            )
+            object.__setattr__(self, "_works", works)
+        return works
+
+    def _eligible_speeds(self) -> np.ndarray:
+        """Per-job total eligible speed (job order), computed once."""
+        espeeds = self.__dict__.get("_eligible")
+        if espeeds is None:
+            espeeds = np.fromiter(
+                (self.eligible_speed(job) for job in self.jobs),
+                dtype=np.float64,
+                count=len(self.jobs),
+            )
+            object.__setattr__(self, "_eligible", espeeds)
+        return espeeds
+
     # -- bounds ---------------------------------------------------------------
     def eligible_speed(self, job: LPJob) -> float:
-        """Total speed of the resources able to process ``job``."""
-        return float(sum(self.resources[r].speed for r in job.resources))
+        """Total speed of the resources able to process ``job``.
+
+        Eligibility sets repeat heavily (one per databank), so each distinct
+        resource tuple is summed once and memoized.
+        """
+        memo = self.__dict__.get("_espeed_memo")
+        if memo is None:
+            memo = {}
+            object.__setattr__(self, "_espeed_memo", memo)
+        total = memo.get(job.resources)
+        if total is None:
+            total = float(self.resource_speeds()[list(job.resources)].sum())
+            memo[job.resources] = total
+        return total
 
     def objective_lower_bound(self) -> float:
         """A valid lower bound on the optimal maximum weighted flow.
@@ -190,11 +243,9 @@ class MaxStretchProblem:
         """
         if not self.jobs:
             return 0.0
-        bounds = []
-        for job in self.jobs:
-            best_completion = job.earliest_start + job.remaining_work / self.eligible_speed(job)
-            bounds.append((best_completion - job.release) / job.flow_factor)
-        return max(bounds)
+        starts, releases, factors = self._job_vectors()
+        completions = starts + self.remaining_works() / self._eligible_speeds()
+        return float(((completions - releases) / factors).max())
 
     def objective_upper_bound(self) -> float:
         """A valid upper bound on the optimal maximum weighted flow.
@@ -205,11 +256,25 @@ class MaxStretchProblem:
         """
         if not self.jobs:
             return 0.0
-        horizon = max(job.earliest_start for job in self.jobs)
-        horizon += sum(job.remaining_work / self.eligible_speed(job) for job in self.jobs)
-        bound = max((horizon - job.release) / job.flow_factor for job in self.jobs)
+        starts, releases, factors = self._job_vectors()
+        horizon = float(starts.max())
+        horizon += float((self.remaining_works() / self._eligible_speeds()).sum())
+        bound = float(((horizon - releases) / factors).max())
         # Guard against degenerate single-job cases where lower == upper.
         return max(bound, self.objective_lower_bound())
+
+    def _job_vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (earliest_start, release, flow_factor) arrays in job order."""
+        vectors = self.__dict__.get("_job_vectors_cache")
+        if vectors is None:
+            n = len(self.jobs)
+            vectors = (
+                np.fromiter((j.earliest_start for j in self.jobs), dtype=np.float64, count=n),
+                np.fromiter((j.release for j in self.jobs), dtype=np.float64, count=n),
+                np.fromiter((j.flow_factor for j in self.jobs), dtype=np.float64, count=n),
+            )
+            object.__setattr__(self, "_job_vectors_cache", vectors)
+        return vectors
 
 
 def build_resources(instance: Instance) -> tuple[Resource, ...]:
@@ -240,6 +305,74 @@ def build_eligibility(
     return eligibility
 
 
+@dataclass(frozen=True)
+class JobTable:
+    """Array-backed per-job invariants for the on-line replan fast path.
+
+    One row per instance job, in instance order (which pins the LP job and
+    column order): ``(job_id, release, size, flow_factor, eligible resource
+    indices)``.  Releases, sizes, flow factors (the stretch weights, i.e.
+    the jobs' ideal times) and eligibility never change during a simulation,
+    so the :class:`~repro.lp.incremental.ReplanContext` builds the table
+    once and every replan's :func:`problem_from_instance` call skips the
+    weight and eligibility recomputation entirely.
+    """
+
+    rows: tuple[tuple[int, float, float, float, tuple[int, ...]], ...]
+
+
+def build_job_table(
+    instance: Instance,
+    resources: "tuple[Resource, ...] | None" = None,
+    eligibility: "Mapping[str | None, tuple[int, ...]] | None" = None,
+) -> JobTable:
+    """Precompute the :class:`JobTable` of ``instance`` (see the replan fast path)."""
+    if resources is None:
+        resources = build_resources(instance)
+    if eligibility is None:
+        eligibility = build_eligibility(instance, resources)
+    rows = []
+    for job in instance.jobs:
+        eligible = eligibility[job.databank]
+        if not eligible:
+            raise ModelError(f"job {job.job_id} has no eligible capability class")
+        rows.append(
+            (
+                job.job_id,
+                job.release,
+                job.size,
+                1.0 / instance.weight(job.job_id),
+                eligible,
+            )
+        )
+    return JobTable(rows=tuple(rows))
+
+
+def _problem_from_job_table(
+    table: JobTable,
+    resources: tuple[Resource, ...],
+    now: float | None,
+    remaining: Mapping[int, float],
+) -> MaxStretchProblem:
+    """The replan-shaped fast path: active jobs only, invariants from the table."""
+    lp_jobs: list[LPJob] = []
+    for job_id, release, size, factor, eligible in table.rows:
+        rem = remaining.get(job_id)
+        if rem is None or rem <= 0:
+            continue
+        lp_jobs.append(
+            LPJob(
+                job_id=job_id,
+                earliest_start=release if now is None else max(release, now),
+                remaining_work=float(rem),
+                release=release,
+                flow_factor=factor,
+                resources=eligible,
+            )
+        )
+    return MaxStretchProblem(resources=resources, jobs=tuple(lp_jobs))
+
+
 def problem_from_instance(
     instance: Instance,
     *,
@@ -249,6 +382,7 @@ def problem_from_instance(
     flow_factors: Mapping[int, float] | None = None,
     resources: tuple[Resource, ...] | None = None,
     eligibility: Mapping[str | None, tuple[int, ...]] | None = None,
+    job_table: JobTable | None = None,
 ) -> MaxStretchProblem:
     """Build a :class:`MaxStretchProblem` from an instance.
 
@@ -282,7 +416,23 @@ def problem_from_instance(
         capability-class decomposition; the values must describe exactly
         ``instance.platform`` (callers other than the cache should leave the
         defaults).
+    job_table:
+        Precomputed :class:`JobTable` (see :func:`build_job_table`).  When
+        provided together with ``resources`` and a ``remaining`` mapping --
+        the replan shape, with no ``job_ids``/``flow_factors`` overrides --
+        the array-backed fast path builds the problem straight from the
+        table, skipping the per-job weight and eligibility lookups; the
+        table must describe exactly ``instance`` (same order, same
+        weights).  Any override falls back to the general path.
     """
+    if (
+        job_table is not None
+        and resources is not None
+        and remaining is not None
+        and job_ids is None
+        and flow_factors is None
+    ):
+        return _problem_from_job_table(job_table, resources, now, remaining)
     if resources is None:
         resources = build_resources(instance)
     if eligibility is None:

@@ -28,6 +28,7 @@ from repro.lp.maxstretch import (
     ConstraintSkeleton,
     MaxStretchSolution,
     _assemble_constraints,
+    _assembly_arrays,
     _extract_allocations,
     build_skeleton,
     model_key,
@@ -117,16 +118,20 @@ def _solve_fixed_objective(
         return None
     structure = skeleton.structure
 
-    bounds = structure.bounds_at(objective)
     builder = LinearProgramBuilder()
-    remaining = {job.job_id: job.remaining_work for job in problem.jobs}
-    for t, c, j in skeleton.keys:
-        midpoint = 0.5 * (bounds[t][0] + bounds[t][1])
-        # Objective coefficient: fraction of the job processed in the
-        # interval (work / remaining) times the interval midpoint.
-        builder.add_variable(
-            objective=midpoint / remaining[j], name=f"x[{t},{c},{j}]"
-        )
+    # Objective coefficient per variable: fraction of the job processed in
+    # the interval (work / remaining) times the interval midpoint --
+    # vectorized over the skeleton's cached per-variable interval/job index
+    # arrays (the boundary values at ``objective`` double as the solution's
+    # interval bounds below).
+    arrays = _assembly_arrays(skeleton)
+    boundary_values = arrays.bnd_const + arrays.bnd_coef * objective
+    midpoints = 0.5 * (boundary_values[:-1] + boundary_values[1:])
+    works = problem.remaining_works()
+    builder.add_variables(
+        len(skeleton.keys),
+        objective=midpoints[arrays.key_t] / works[arrays.key_jpos],
+    )
 
     _assemble_constraints(
         builder, problem, skeleton, offset=0, f_var=None, objective_value=objective
@@ -139,12 +144,15 @@ def _solve_fixed_objective(
     result = builder.solve(backend=backend, key=key, warm=warm)
     if not result.feasible:
         return None
-    var_index = {key: pos for pos, key in enumerate(skeleton.keys)}
-    allocations = _extract_allocations(problem, var_index, result.values)
+    allocations = _extract_allocations(problem, skeleton, 0, result.values)
+    bounds = tuple(
+        (float(boundary_values[t]), float(boundary_values[t + 1]))
+        for t in range(len(boundary_values) - 1)
+    )
     return MaxStretchSolution(
         objective=objective,
         problem=problem,
         structure=structure,
-        interval_bounds=tuple(bounds),
+        interval_bounds=bounds,
         allocations=allocations,
     )

@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.errors import ScheduleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule, WorkSlice
+from repro.lp.backends import record_lp_probes
 from repro.simulation.clock import EventQueue, EventType, SimulationClock
 from repro.simulation.events import ArrivalEvent, CompletionEvent, DecisionEvent, SimulationEvent
 from repro.simulation.result import SimulationResult
@@ -86,7 +87,20 @@ class SimulationEngine:
 
     # -- public API ---------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Simulate until every job has completed and return the result."""
+        """Simulate until every job has completed and return the result.
+
+        The run is wrapped in :func:`repro.lp.backends.record_lp_probes`, so
+        the result carries the LP probe statistics (solve count/time and the
+        probe-elimination histogram of the certificate-guided milestone
+        search) alongside the scheduler wall-clock -- the instrumentation
+        surface of the Section 5.3 overhead experiment.
+        """
+        with record_lp_probes() as lp_stats:
+            result = self._run()
+        result.lp_probes = lp_stats
+        return result
+
+    def _run(self) -> SimulationResult:
         instance, state = self.instance, self.state
         n_jobs = len(instance.jobs)
         for job in instance.jobs:  # already sorted by release date

@@ -8,6 +8,7 @@ from repro.core import metrics as metrics_mod
 from repro.core.instance import Instance
 from repro.core.metrics import MetricsReport
 from repro.core.schedule import Schedule
+from repro.lp.backends import LPProbeStats
 from repro.simulation.events import SimulationEvent
 
 __all__ = ["SimulationResult"]
@@ -34,6 +35,10 @@ class SimulationResult:
         Number of assignments requested from the scheduler.
     events:
         Optional trace of arrivals/completions/decisions.
+    lp_probes:
+        LP probe statistics collected over the run (solve count and time,
+        plus the probe-elimination histogram of the certificate-guided
+        milestone search); all zeros for LP-free schedulers.
     """
 
     instance: Instance
@@ -43,6 +48,7 @@ class SimulationResult:
     scheduler_time: float = 0.0
     n_decisions: int = 0
     events: tuple[SimulationEvent, ...] = ()
+    lp_probes: LPProbeStats = field(default_factory=LPProbeStats)
 
     _report: MetricsReport | None = field(default=None, repr=False, compare=False)
 

@@ -195,3 +195,118 @@ class TestOptimalityProperties:
         exact = minimize_max_weighted_flow(problem)
         capped = minimize_max_weighted_flow(problem, max_milestones=3)
         assert capped.objective >= exact.objective - 1e-9
+
+
+class TestVectorizedAssembly:
+    """The COO-block skeleton assembly reproduces the historical per-row loop."""
+
+    def make_problem(self) -> MaxStretchProblem:
+        resources = (
+            Resource(0, speed=2.0, machine_ids=(0, 1)),
+            Resource(1, speed=1.5, machine_ids=(2,)),
+        )
+        jobs = (
+            LPJob(0, earliest_start=0.0, remaining_work=4.0, release=0.0,
+                  flow_factor=2.0, resources=(0,)),
+            LPJob(1, earliest_start=1.0, remaining_work=3.0, release=1.0,
+                  flow_factor=1.0, resources=(0, 1)),
+            LPJob(2, earliest_start=1.5, remaining_work=2.0, release=1.5,
+                  flow_factor=1.5, resources=(1,)),
+        )
+        return MaxStretchProblem(resources=resources, jobs=jobs)
+
+    @staticmethod
+    def _reference_assemble(builder, problem, skeleton, *, offset, f_var, objective_value):
+        """The historical scalar assembly loop, kept verbatim as the oracle."""
+        structure = skeleton.structure
+        for (t, c), positions in skeleton.capacity_groups:
+            length = structure.interval_length(t)
+            speed = problem.resources[c].speed
+            terms = [(pos + offset, 1.0) for pos in positions]
+            if f_var is not None:
+                terms.append((f_var, -speed * length.coef))
+                rhs = speed * length.const
+            else:
+                rhs = speed * max(0.0, length.at(objective_value))
+            builder.add_leq(terms, rhs)
+        for pos_job, positions in skeleton.completeness_groups:
+            builder.add_eq(
+                [(pos + offset, 1.0) for pos in positions],
+                problem.jobs[pos_job].remaining_work,
+            )
+
+    @staticmethod
+    def _dense(spec):
+        """Dense (A_ub, b_ub, A_eq, b_eq) canonicalization of a spec."""
+        import numpy as np
+        from scipy import sparse
+
+        a_ub = sparse.coo_matrix(
+            (list(spec.ub_vals), (list(spec.ub_rows), list(spec.ub_cols))),
+            shape=(len(spec.ub_rhs), spec.n_vars),
+        ).toarray()
+        a_eq = sparse.coo_matrix(
+            (list(spec.eq_vals), (list(spec.eq_rows), list(spec.eq_cols))),
+            shape=(len(spec.eq_rhs), spec.n_vars),
+        ).toarray()
+        return a_ub, np.asarray(spec.ub_rhs), a_eq, np.asarray(spec.eq_rhs)
+
+    @pytest.mark.parametrize("fixed_objective", [None, 2.75])
+    def test_constraint_matrices_bit_identical(self, fixed_objective):
+        import numpy as np
+
+        from repro.lp.intervals import build_interval_structure
+        from repro.lp.maxstretch import _assemble_constraints, build_skeleton
+        from repro.lp.solver import LinearProgramBuilder
+
+        problem = self.make_problem()
+        probe = 2.75 if fixed_objective is None else fixed_objective
+        structure = build_interval_structure(problem, probe)
+        skeleton = build_skeleton(problem, structure)
+        assert skeleton is not None
+        offset = 1 if fixed_objective is None else 0
+
+        vec = LinearProgramBuilder()
+        ref = LinearProgramBuilder()
+        for builder in (vec, ref):
+            if fixed_objective is None:
+                builder.add_variable(objective=1.0, lower=1.0, upper=5.0, name="F")
+            for _ in range(len(skeleton.keys)):
+                builder.add_variable()
+        _assemble_constraints(
+            vec, problem, skeleton,
+            offset=offset,
+            f_var=0 if fixed_objective is None else None,
+            objective_value=fixed_objective,
+        )
+        self._reference_assemble(
+            ref, problem, skeleton,
+            offset=offset,
+            f_var=0 if fixed_objective is None else None,
+            objective_value=fixed_objective,
+        )
+        for got, want in zip(self._dense(vec.spec()), self._dense(ref.spec())):
+            assert np.array_equal(got, want)  # exact, not approx
+
+    def test_sparsity_pattern_drops_zero_f_coefficients(self):
+        """Zero F-column coefficients are filtered exactly like the old loop."""
+        import numpy as np
+
+        from repro.lp.intervals import build_interval_structure
+        from repro.lp.maxstretch import _assemble_constraints, build_skeleton
+        from repro.lp.solver import LinearProgramBuilder
+
+        problem = self.make_problem()
+        structure = build_interval_structure(problem, 2.75)
+        skeleton = build_skeleton(problem, structure)
+        builder = LinearProgramBuilder()
+        builder.add_variable(objective=1.0, name="F")
+        for _ in range(len(skeleton.keys)):
+            builder.add_variable()
+        _assemble_constraints(
+            builder, problem, skeleton, offset=1, f_var=0, objective_value=None
+        )
+        spec = builder.spec()
+        f_entries = np.asarray(spec.ub_vals)[np.asarray(spec.ub_cols) == 0]
+        assert f_entries.size > 0
+        assert np.all(f_entries != 0.0)

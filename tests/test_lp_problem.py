@@ -8,7 +8,14 @@ from repro.core.errors import ModelError
 from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.core.platform import Machine, Platform
-from repro.lp.problem import Affine, LPJob, MaxStretchProblem, Resource, problem_from_instance
+from repro.lp.problem import (
+    Affine,
+    LPJob,
+    MaxStretchProblem,
+    Resource,
+    build_job_table,
+    problem_from_instance,
+)
 
 
 class TestAffine:
@@ -98,6 +105,36 @@ class TestMaxStretchProblem:
         assert lower == pytest.approx(1.0)
         assert upper >= lower
 
+    def test_job_by_id_is_cached_map(self):
+        problem = self.make_problem()
+        first = problem.job_by_id(0)
+        # The id -> job map is built once and stashed in the instance dict.
+        assert "_by_id" in problem.__dict__
+        assert problem.job_by_id(0) is first
+        # Caches never leak into dataclass equality.
+        assert problem == self.make_problem()
+
+    def test_eligible_speed_memoized_per_resource_tuple(self):
+        problem = self.make_problem()
+        job0, job1 = problem.jobs
+        assert problem.eligible_speed(job0) == pytest.approx(2.0)
+        memo = problem.__dict__["_espeed_memo"]
+        assert memo == {(0,): 2.0}
+        assert problem.eligible_speed(job1) == pytest.approx(3.0)
+        assert set(memo) == {(0,), (0, 1)}
+        # A foreign LPJob sharing a known resource tuple hits the memo too.
+        foreign = LPJob(9, earliest_start=0.0, remaining_work=1.0, release=0.0,
+                        flow_factor=1.0, resources=(0, 1))
+        assert problem.eligible_speed(foreign) == pytest.approx(3.0)
+
+    def test_cached_arrays_match_job_order(self):
+        import numpy as np
+
+        problem = self.make_problem()
+        assert np.array_equal(problem.resource_speeds(), [2.0, 1.0])
+        assert np.array_equal(problem.remaining_works(), [4.0, 3.0])
+        assert problem.resource_speeds() is problem.resource_speeds()  # cached
+
     def test_resource_index_mismatch_rejected(self):
         with pytest.raises(ModelError):
             MaxStretchProblem(
@@ -177,3 +214,58 @@ class TestProblemFromInstance:
     def test_flow_factor_override(self, instance):
         problem = problem_from_instance(instance, flow_factors={0: 10.0})
         assert problem.job_by_id(0).flow_factor == 10.0
+
+
+class TestJobTableFastPath:
+    @pytest.fixture
+    def instance(self) -> Instance:
+        platform = Platform(
+            [
+                Machine(0, 1.0, 0, frozenset({"a"})),
+                Machine(1, 1.0, 0, frozenset({"a"})),
+                Machine(2, 0.5, 1, frozenset({"a", "b"})),
+            ]
+        )
+        jobs = [
+            Job(0, release=0.0, size=4.0, databank="a"),
+            Job(1, release=1.0, size=2.0, databank="b"),
+            Job(2, release=2.0, size=3.0, databank="a"),
+        ]
+        return Instance(jobs, platform)
+
+    def test_replan_shape_bit_identical_to_general_path(self, instance):
+        from repro.lp.problem import build_eligibility, build_resources
+
+        resources = build_resources(instance)
+        eligibility = build_eligibility(instance, resources)
+        table = build_job_table(instance, resources, eligibility)
+        remaining = {0: 1.5, 1: 2.0, 2: 0.0}  # job 2 completed
+        general = problem_from_instance(
+            instance, now=2.5, remaining=remaining,
+            resources=resources, eligibility=eligibility,
+        )
+        fast = problem_from_instance(
+            instance, now=2.5, remaining=remaining,
+            resources=resources, eligibility=eligibility, job_table=table,
+        )
+        assert fast == general  # dataclass equality: same jobs, same order
+
+    def test_overrides_fall_back_to_general_path(self, instance):
+        from repro.lp.problem import build_eligibility, build_resources
+
+        resources = build_resources(instance)
+        eligibility = build_eligibility(instance, resources)
+        table = build_job_table(instance, resources, eligibility)
+        # flow_factors overrides bypass the table (general path handles them).
+        problem = problem_from_instance(
+            instance, now=0.0, remaining={0: 1.0}, flow_factors={0: 7.0},
+            resources=resources, eligibility=eligibility, job_table=table,
+        )
+        assert problem.job_by_id(0).flow_factor == 7.0
+
+    def test_table_carries_instance_invariants(self, instance):
+        table = build_job_table(instance)
+        assert [row[0] for row in table.rows] == [0, 1, 2]
+        job0 = table.rows[0]
+        assert job0[1] == 0.0 and job0[2] == 4.0
+        assert job0[3] == pytest.approx(instance.ideal_time(0))

@@ -121,6 +121,86 @@ class TestLinearProgramBuilder:
             builder.solve()
         assert calls == ["highs", "highs-ipm"]
 
+    def test_block_constraints_equal_scalar_constraints(self):
+        """The vectorized COO block path builds the same program as scalars."""
+
+        def scalar_builder():
+            builder = LinearProgramBuilder()
+            x = builder.add_variable(objective=1.0)
+            y = builder.add_variable(objective=2.0)
+            z = builder.add_variable(objective=0.5)
+            builder.add_leq([(x, 1.0), (y, 1.0)], 3.0)
+            builder.add_leq([(y, 2.0), (z, -1.0)], 1.0)
+            builder.add_eq([(x, 1.0), (z, 1.0)], 2.0)
+            return builder
+
+        block = LinearProgramBuilder()
+        block.add_variables(3, objective=[1.0, 2.0, 0.5])
+        block.add_leq_block(
+            rows=np.array([0, 0, 1, 1]),
+            cols=np.array([0, 1, 1, 2]),
+            vals=np.array([1.0, 1.0, 2.0, -1.0]),
+            rhs=np.array([3.0, 1.0]),
+        )
+        block.add_eq_block(
+            rows=np.array([0, 0]),
+            cols=np.array([0, 2]),
+            vals=np.array([1.0, 1.0]),
+            rhs=np.array([2.0]),
+        )
+        reference = scalar_builder()
+        spec_scalar = reference.spec()
+        spec_block = block.spec()
+        assert spec_block.n_vars == spec_scalar.n_vars
+        assert list(spec_block.ub_rhs) == list(spec_scalar.ub_rhs)
+        assert list(spec_block.eq_rhs) == list(spec_scalar.eq_rhs)
+        result_scalar = reference.solve()
+        result_block = block.solve()
+        assert result_block.objective == pytest.approx(result_scalar.objective)
+        assert np.allclose(result_block.values, result_scalar.values)
+
+    def test_block_and_scalar_rows_interleave(self):
+        builder = LinearProgramBuilder()
+        x = builder.add_variable(objective=1.0)
+        builder.add_leq([(x, -1.0)], -1.0)  # scalar row 0: x >= 1
+        builder.add_leq_block(  # block row 1: x <= 5
+            rows=np.array([0]), cols=np.array([x]),
+            vals=np.array([1.0]), rhs=np.array([5.0]),
+        )
+        row = builder.add_leq([(x, -1.0)], -2.0)  # scalar row 2: x >= 2
+        assert row == 2
+        result = builder.solve()
+        assert result.feasible
+        assert result.value(x) == pytest.approx(2.0)
+
+    def test_block_validation(self):
+        builder = LinearProgramBuilder()
+        builder.add_variables(2)
+        with pytest.raises(SolverError, match="equal lengths"):
+            builder.add_leq_block(
+                rows=np.array([0]), cols=np.array([0, 1]),
+                vals=np.array([1.0]), rhs=np.array([1.0]),
+            )
+        with pytest.raises(SolverError, match="unknown variable"):
+            builder.add_leq_block(
+                rows=np.array([0]), cols=np.array([5]),
+                vals=np.array([1.0]), rhs=np.array([1.0]),
+            )
+        with pytest.raises(SolverError, match="row indices"):
+            builder.add_eq_block(
+                rows=np.array([2]), cols=np.array([0]),
+                vals=np.array([1.0]), rhs=np.array([1.0]),
+            )
+
+    def test_add_variables_bulk(self):
+        builder = LinearProgramBuilder()
+        first = builder.add_variables(3, objective=np.array([1.0, 2.0, 3.0]))
+        assert first == 0
+        assert builder.n_variables == 3
+        assert builder.variable_name(1) == "x1"
+        with pytest.raises(SolverError, match="coefficients"):
+            builder.add_variables(2, objective=[1.0])
+
     def test_transportation_like_problem(self):
         # Two suppliers (capacities 3 and 2), two demands (2 and 3); cost
         # favours supplier 0 for demand 0 and supplier 1 for demand 1.
