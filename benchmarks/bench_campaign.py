@@ -18,13 +18,21 @@ Two enforced properties of :func:`repro.experiments.runner.run_campaign`:
   size).  This is the campaign-scale evidence behind the
   ``--solver-backend`` default flip from ``scipy`` to ``auto``.
 
-A third measurement covers the distribution layer: merging N shard
+A third gate covers the cross-run solver-state bank
+(:func:`bench_state_bank_reuse`): on a slice where every replicate's four
+on-line LP variants share the realized instance, the banked leg must cut
+the median LP solves per record by >= 25 % while staying bitwise
+transparent on scipy, and the sharded bank-on/off comparison on the
+default backend must pass the same two-tier tolerance gate as the backend
+A/B.
+
+A fourth measurement covers the distribution layer: merging N shard
 journals of a paper-shaped design (162 configurations x 10 schedulers)
 back into one validated record set must stay cheap relative to computing
 the records -- the merge job is the serial tail of every sharded CI
 campaign, so its records/sec throughput is tracked alongside.
 
-All three write into ``benchmarks/_artifacts/BENCH_campaign.json``
+All four write into ``benchmarks/_artifacts/BENCH_campaign.json``
 (uploaded by CI) so the campaign throughput trajectory -- wall-clock,
 records/sec, worker count, merge rate -- is tracked across PRs.
 """
@@ -33,11 +41,13 @@ from __future__ import annotations
 
 import json
 import os
+import statistics
 import time
+from dataclasses import replace
 
 import pytest
 
-from repro.experiments.ab import run_backend_ab
+from repro.experiments.ab import compare_record_sets, run_backend_ab
 from repro.experiments.config import ExperimentConfig, paper_configurations
 from repro.experiments.io import CampaignCheckpoint
 from repro.experiments.merge import merge_journals
@@ -49,6 +59,10 @@ from repro.experiments.runner import (
 )
 from repro.experiments.sharding import ShardPlan
 from repro.lp.backends import highs_available, resolve_backend_name
+from repro.lp.bank import SolverStateBank
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+from repro.workload.generator import generate_instance
 
 from _bench_utils import ARTIFACT_DIR, write_json_artifact
 
@@ -208,6 +222,126 @@ def bench_campaign_backend_ab(benchmark):
             f"(recorded in {_ARTIFACT})"
         )
     assert report.backend_b == resolve_backend_name("auto") == "highs"
+
+
+def bench_state_bank_reuse(benchmark):
+    """The reuse gate behind the ``--state-bank on`` default.
+
+    A paper-shaped slice where the bank's affinity assumption is exact --
+    the four on-line LP variants of every (configuration, replicate) group
+    share each realized instance -- run once with a per-group
+    :class:`SolverStateBank` and once cold, serially on the scipy backend
+    (so per-record LP-solve counts are deterministic and the banked answers
+    are bitwise transparent).  Gates, in order:
+
+    * the banked leg must cut the median LP solves per record by >= 25 %,
+    * every record must be bitwise identical to its cold twin,
+    * a sharded bank-on campaign on the *default* backend must pass the
+      same two-tier tolerance gate as the backend A/B when compared to the
+      bank-off run (warm HiGHS bases legitimately shift results at solver
+      tolerance).
+    """
+    scale = _scale()
+    keys = ("online", "online-edf", "online-egdf", "online-nonopt")
+    configs = [
+        replace(config, solver_backend="scipy")
+        for config in _mini_campaign(scale)
+    ]
+    tasks = campaign_tasks(configs, keys, int(scale["replicates"]), base_seed=2006)
+
+    def run_serial(with_bank: bool):
+        """(per-record LP-solve counts, objective tuples, bank hit stats)."""
+        probes, objectives = [], []
+        hits = misses = 0
+        instances: dict[tuple[str, int], object] = {}
+        banks: dict[tuple[str, int], SolverStateBank] = {}
+        for task in tasks:
+            group = (task.config.name, task.replicate)
+            if group not in instances:
+                instances[group] = generate_instance(
+                    task.config.platform_spec(), task.config.workload_spec(),
+                    rng=task.seed,
+                )
+            options = task.config.scheduler_options_for(task.scheduler_key)
+            if with_bank:
+                options["state_bank"] = banks.setdefault(group, SolverStateBank())
+            else:
+                options["state_bank"] = None
+            result = simulate(
+                instances[group], make_scheduler(task.scheduler_key, **options)
+            )
+            probes.append(result.lp_probes.n_probes)
+            hits += result.lp_probes.n_bank_hits
+            misses += result.lp_probes.n_bank_misses
+            objectives.append(
+                (task.triple, result.max_stretch, result.sum_stretch,
+                 result.makespan)
+            )
+        return probes, objectives, hits, misses
+
+    start = time.perf_counter()
+    banked_probes, banked_objectives, hits, misses = benchmark.pedantic(
+        lambda: run_serial(True), rounds=1, iterations=1
+    )
+    banked_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    cold_probes, cold_objectives, _, _ = run_serial(False)
+    cold_seconds = time.perf_counter() - start
+
+    median_banked = statistics.median(banked_probes)
+    median_cold = statistics.median(cold_probes)
+    reduction = 1.0 - median_banked / median_cold if median_cold else 0.0
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    # Tolerance gate on the shipping default backend, sharded bank-on vs
+    # bank-off, over the standard mini-campaign schedulers (the surface
+    # ``campaign --state-bank`` actually exposes).  ``online-nonopt`` stays
+    # out of this leg on purpose: it materializes the System (1) allocation
+    # directly, so a banked-vs-cold HiGHS vertex shifts its tie metrics the
+    # most -- at mini-campaign sample counts that wobble can exceed the
+    # per-scheduler tie tolerance without any objective drift (the bitwise
+    # scipy assertion above already proves the bank exact for it).
+    ab_configs = _mini_campaign(scale)
+    campaign_kwargs = dict(
+        scheduler_keys=_SCHEDULERS, replicates=int(scale["replicates"]),
+        base_seed=2006, n_workers=int(scale["workers"]),
+    )
+    bank_on = run_campaign(ab_configs, **campaign_kwargs)
+    bank_off = run_campaign(
+        [replace(c, state_bank=False) for c in ab_configs], **campaign_kwargs
+    )
+    report = compare_record_sets(
+        bank_on, bank_off, backend_a="bank-on", backend_b="bank-off"
+    )
+
+    _update_artifact(
+        "state_bank_reuse",
+        {
+            "n_records": len(tasks),
+            "replicates": scale["replicates"],
+            "schedulers": list(keys),
+            "median_lp_solves_banked": median_banked,
+            "median_lp_solves_cold": median_cold,
+            "total_lp_solves_banked": sum(banked_probes),
+            "total_lp_solves_cold": sum(cold_probes),
+            "median_reduction": round(reduction, 3),
+            "bank_hit_rate": round(hit_rate, 3),
+            "wall_clock_banked_s": round(banked_seconds, 3),
+            "wall_clock_cold_s": round(cold_seconds, 3),
+            "bank_on_off_equivalent": report.equivalent,
+        },
+    )
+
+    assert banked_objectives == cold_objectives, (
+        "banked scipy records must be bitwise identical to the cold run"
+    )
+    assert reduction >= 0.25, (
+        f"state bank only cut median LP solves per record by "
+        f"{reduction:.0%} ({median_cold} -> {median_banked}; target >= 25%)"
+    )
+    assert report.equivalent, (
+        f"bank-on/off A/B gate failed:\n{report.render()}"
+    )
 
 
 def bench_campaign_merge_throughput(benchmark, tmp_path):

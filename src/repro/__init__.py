@@ -33,7 +33,11 @@ the *incremental replanning pipeline* spanning the starred modules::
     |   |                (dual-ray bounds skip probes; interior-optimum exit)
     |   |-- relaxation * System (2): sum-stretch-like re-optimization
     |   |-- incremental* ReplanContext: caches + S* warm start + carried
-    |   |                certificate bound across replans
+    |   |                certificate bound across replans, feasible-side
+    |   |                cap on shrinking active sets, bank consume/publish
+    |   |-- bank       * content-addressed cross-run solver-state bank
+    |   |                (System (1)/(2) solutions by problem signature,
+    |   |                certificates, series bases; per-worker, LRU)
     |   |-- aggregation  LP allocations -> per-machine work slices
     |   |-- solver     * sparse COO program builder (scalar + block APIs)
     |   |                over pluggable backends
@@ -55,9 +59,10 @@ the *incremental replanning pipeline* spanning the starred modules::
     |-- workload/      GriPPS-like synthetic platform/workload generation
     |-- experiments/   the paper's campaign (configs carry the replan knobs)
     |   |-- runner     * campaign engine: (config, replicate, scheduler) task
-    |   |                streaming over long-lived workers (instance LRU +
-    |   |                resident solver backend), bit-identical at any
-    |   |                worker count, progress/ETA
+    |   |                streaming over long-lived worker lanes (instance
+    |   |                LRU + resident solver backend + solver-state bank,
+    |   |                replicate-affinity placement), bit-identical at
+    |   |                any worker count, progress/ETA
     |   |-- ab           scipy-vs-HiGHS campaign A/B equivalence harness
     |   |-- io           CSV/JSON persistence + JSONL campaign checkpoints
     |   |                (kill-tolerant --checkpoint/--resume)

@@ -75,7 +75,12 @@ from repro.experiments.overhead import (
 from repro.experiments.runner import run_campaign
 from repro.experiments.sharding import parse_shard_spec
 from repro.experiments.tables import breakdown_tables, table1
-from repro.lp.backends import BACKEND_CHOICES, available_backends, resolve_backend_name
+from repro.lp.backends import (
+    BACKEND_CHOICES,
+    available_backends,
+    highs_unavailable_reason,
+    resolve_backend_name,
+)
 from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import (
     LP_SOLVER_SCHEDULERS,
@@ -133,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     camp.add_argument("--seed", type=int, default=2006)
     camp.add_argument("--workers", type=int, default=1)
+    camp.add_argument(
+        "--state-bank",
+        choices=("on", "off"),
+        default="on",
+        help="cross-run solver-state bank: share warm solver state across "
+        "the on-line LP schedulers of each (config, replicate) group "
+        "(content-addressed, so records stay bit-identical at any worker "
+        "count); 'off' re-pays every cold solve and is the escape hatch "
+        "mirroring --solver-backend scipy (default: on)",
+    )
     camp.add_argument("--sites", type=int, nargs="+", default=[3, 10, 20])
     camp.add_argument("--databanks", type=int, nargs="+", default=[3, 10, 20])
     camp.add_argument("--availabilities", type=float, nargs="+", default=[0.3, 0.6, 0.9])
@@ -358,12 +373,19 @@ def _online_options(args: argparse.Namespace) -> dict[str, dict[str, object]]:
 
 
 def _check_backend(args: argparse.Namespace) -> str | None:
-    """An error message when the requested solver backend is unusable."""
+    """An error message when the requested solver backend is unusable.
+
+    Reports *why* the bindings are unavailable when the probe can tell
+    (highspy missing vs importable-but-incompatible vs scipy too old), so
+    the operator knows which of the two install routes to take.
+    """
     backend = getattr(args, "solver_backend", "scipy")
     if backend == "highs" and "highs" not in available_backends():
+        reason = highs_unavailable_reason()
+        detail = f": {reason}" if reason else ""
         return (
             "error: --solver-backend highs requires HiGHS bindings "
-            "(pip install highspy, or scipy >= 1.15); "
+            f"(pip install highspy, or scipy >= 1.15){detail}; "
             "use --solver-backend auto to fall back to scipy"
         )
     return None
@@ -446,6 +468,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         replan_policy=args.replan_policy,
         incremental_lp=not args.from_scratch,
         solver_backend=args.solver_backend,
+        state_bank=args.state_bank == "on",
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
     computed = 0

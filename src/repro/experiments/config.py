@@ -62,6 +62,15 @@ class ExperimentConfig:
     bindings are available, validated at campaign scale by the A/B gate in
     ``benchmarks/bench_campaign.py``); ``"scipy"`` remains the bit-stable
     escape hatch reproducing the historical one-shot-linprog numbers.
+
+    ``state_bank`` toggles the content-addressed cross-run solver-state
+    bank (:mod:`repro.lp.bank`) for the on-line LP heuristics.  The flag is
+    a plain bool here; only the campaign runner translates it into a live
+    per-worker bank (direct ``simulate()`` paths stay bank-less), and with
+    replicate-affinity placement the results are bit-identical at any
+    worker count either way -- ``state_bank=False`` simply re-pays the
+    cold solves and is kept as the escape hatch mirroring
+    ``solver_backend="scipy"``.
     """
 
     name: str
@@ -75,6 +84,7 @@ class ExperimentConfig:
     replan_policy: str = "on-arrival"
     incremental_lp: bool = True
     solver_backend: str = "auto"
+    state_bank: bool = True
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -129,6 +139,10 @@ class ExperimentConfig:
         if key in ONLINE_LP_SCHEDULERS:
             options["policy"] = self.replan_policy
             options["incremental"] = self.incremental_lp
+            # A bool at this level; the campaign workers swap in their
+            # resident SolverStateBank (OnlineLPScheduler ignores non-bank
+            # values, so other call sites are unaffected).
+            options["state_bank"] = self.state_bank
         return options
 
     def as_dict(self) -> dict[str, float | int | str | bool | None]:
@@ -144,6 +158,7 @@ class ExperimentConfig:
             "replan_policy": self.replan_policy,
             "incremental_lp": self.incremental_lp,
             "solver_backend": self.solver_backend,
+            "state_bank": self.state_bank,
         }
 
 
@@ -159,6 +174,7 @@ def paper_configurations(
     replan_policy: str = "on-arrival",
     incremental_lp: bool = True,
     solver_backend: str = "auto",
+    state_bank: bool = True,
 ) -> list[ExperimentConfig]:
     """The full factorial design of Section 5.3 (162 configurations by default)."""
     configs: list[ExperimentConfig] = []
@@ -184,6 +200,7 @@ def paper_configurations(
                             replan_policy=replan_policy,
                             incremental_lp=incremental_lp,
                             solver_backend=solver_backend,
+                            state_bank=state_bank,
                         )
                     )
     return configs

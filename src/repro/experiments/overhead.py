@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
+from repro.lp.bank import SolverStateBank
 from repro.schedulers.registry import make_scheduler
 from repro.simulation.engine import simulate
 from repro.utils.seeding import derive_seed
@@ -53,6 +54,8 @@ OVERHEAD_TABLE_HEADERS: tuple[str, ...] = (
     "LP solved",
     "LP skipped",
     "basis reused",
+    "bank hits",
+    "primal reused",
     "instances",
 )
 
@@ -65,7 +68,10 @@ class OverheadRecord:
     the per-run probe-elimination histogram of the certificate-guided
     milestone search (all zero for LP-free strategies): LP probes actually
     solved, milestone candidates eliminated without a solve, and solved
-    probes served from warm persistent-solver state.
+    probes served from warm persistent-solver state.  ``mean_bank_hits`` /
+    ``mean_primal_reused`` count warm lookups in the cross-run solver-state
+    bank and whole LP solutions answered from a carried primal (both zero
+    unless a bank is threaded in via ``state_bank=True``).
     """
 
     scheduler: str
@@ -76,6 +82,8 @@ class OverheadRecord:
     mean_lp_solved: float = 0.0
     mean_lp_skipped: float = 0.0
     mean_basis_reused: float = 0.0
+    mean_bank_hits: float = 0.0
+    mean_primal_reused: float = 0.0
 
     def cells(self) -> list[object]:
         return [
@@ -86,6 +94,8 @@ class OverheadRecord:
             self.mean_lp_solved,
             self.mean_lp_skipped,
             self.mean_basis_reused,
+            self.mean_bank_hits,
+            self.mean_primal_reused,
             self.n_instances,
         ]
 
@@ -105,6 +115,7 @@ def scheduling_overhead(
     replan_policy: str = "on-arrival",
     incremental_lp: bool = True,
     solver_backend: str = "scipy",
+    state_bank: bool = False,
 ) -> list[OverheadRecord]:
     """Measure the scheduler-side wall-clock cost of each strategy.
 
@@ -122,6 +133,13 @@ def scheduling_overhead(
     reference path so their trajectory stays comparable across PRs and
     environments with/without HiGHS bindings (the CLI threads the session's
     ``--solver-backend`` through explicitly).
+
+    ``state_bank=True`` threads one live :class:`SolverStateBank` per
+    replicate across all strategies of that replicate -- the same
+    affinity the campaign runner realizes per (config, replicate) group --
+    so the table's "bank hits" / "primal reused" columns show the
+    cross-run reuse effect.  The default ``False`` keeps the historical
+    bank-less measurement.
     """
     config = ExperimentConfig(
         name="overhead",
@@ -140,15 +158,20 @@ def scheduling_overhead(
     lp_solved: dict[str, list[int]] = {key: [] for key in scheduler_keys}
     lp_skipped: dict[str, list[int]] = {key: [] for key in scheduler_keys}
     lp_reused: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    bank_hits: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    primal_reused: dict[str, list[int]] = {key: [] for key in scheduler_keys}
     names: dict[str, str] = {}
     for replicate in range(replicates):
         seed = derive_seed(base_seed, "overhead", replicate)
         instance = generate_instance(
             config.platform_spec(), config.workload_spec(), rng=seed
         )
+        bank = SolverStateBank() if state_bank else None
         for key in scheduler_keys:
             options = config.scheduler_options_for(key)
             options.update((scheduler_options or {}).get(key, {}))
+            if bank is not None and isinstance(options.get("state_bank"), bool):
+                options["state_bank"] = bank if options["state_bank"] else None
             scheduler = make_scheduler(key, **options)
             names.setdefault(key, scheduler.name)
             try:
@@ -160,6 +183,8 @@ def scheduling_overhead(
             lp_solved[key].append(result.lp_probes.n_probes)
             lp_skipped[key].append(result.lp_probes.n_certificate_skipped)
             lp_reused[key].append(result.lp_probes.n_basis_reused)
+            bank_hits[key].append(result.lp_probes.n_bank_hits)
+            primal_reused[key].append(result.lp_probes.n_primal_reuses)
 
     records: list[OverheadRecord] = []
     for key in scheduler_keys:
@@ -175,6 +200,8 @@ def scheduling_overhead(
                 mean_lp_solved=float(np.mean(lp_solved[key])),
                 mean_lp_skipped=float(np.mean(lp_skipped[key])),
                 mean_basis_reused=float(np.mean(lp_reused[key])),
+                mean_bank_hits=float(np.mean(bank_hits[key])),
+                mean_primal_reused=float(np.mean(primal_reused[key])),
             )
         )
     return records

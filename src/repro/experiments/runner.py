@@ -23,9 +23,19 @@ through a pool of long-lived worker processes:
   empties the backend at run start -- which is exactly what keeps a sharded
   campaign *bit-identical* to the serial one: results can never depend on
   which tasks previously shared a worker.
+* **Replicate-affinity placement + cross-run solver-state bank.**  Each
+  worker also holds one :class:`~repro.lp.bank.SolverStateBank`, and tasks
+  are dealt to fixed per-worker *lanes* in whole ``(configuration,
+  replicate)`` groups (by first appearance, exactly like the
+  :class:`~repro.experiments.sharding.ShardPlan` deals instance groups
+  across shard legs).  All four on-line LP variants of one replicate thus
+  colocate on one worker and share banked solver state keyed by the
+  instance's *content* -- and because each content key's bucket history is
+  the group's canonical prefix at any worker count, the bank preserves the
+  serial/sharded bit-identity invariant instead of breaking it.
 * **Streaming collection.**  Tasks are submitted through a bounded in-flight
-  window and collected as they complete (no head-of-line blocking, bounded
-  memory); each completed record is appended to an optional
+  window per lane and collected as they complete (no head-of-line blocking,
+  bounded memory); each completed record is appended to an optional
   :class:`~repro.experiments.io.CampaignCheckpoint` so a killed campaign can
   be resumed without recomputing finished triples.  The returned record list
   is always in canonical task order, independent of completion order and of
@@ -37,7 +47,7 @@ from __future__ import annotations
 import json
 import math
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -46,6 +56,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.lp.backends import SolverBackend, make_backend, resolve_backend_name
+from repro.lp.bank import SolverStateBank
 from repro.schedulers.registry import make_scheduler, paper_schedulers
 from repro.simulation.engine import simulate
 from repro.utils.seeding import derive_seed
@@ -311,6 +322,10 @@ class _WorkerState:
         self._instance_cache_size = max(1, int(instance_cache_size))
         self._instances: OrderedDict[tuple, object] = OrderedDict()
         self._backends: dict[str, SolverBackend] = {}
+        #: The worker's cross-run solver-state bank (content-addressed, see
+        #: :mod:`repro.lp.bank`); handed to schedulers whose configuration
+        #: enables ``state_bank``.
+        self.bank = SolverStateBank()
         #: Exposed for tests/benchmarks: instance generations vs cache hits.
         self.n_instance_builds = 0
         self.n_instance_hits = 0
@@ -357,6 +372,7 @@ class _WorkerState:
         for backend in self._backends.values():
             backend.close()
         self._backends.clear()
+        self.bank.clear()
 
 
 _WORKER: _WorkerState | None = None
@@ -391,6 +407,11 @@ def _run_task(
     options.update((scheduler_options or {}).get(scheduler_key, {}))
     if "solver_backend" in options:
         options["solver_backend"] = state.backend_for(options["solver_backend"])
+    # The configuration carries the bank toggle as a plain bool; the worker
+    # is the only place a live bank exists, so translate it here.
+    bank_flag = options.get("state_bank")
+    if isinstance(bank_flag, bool):
+        options["state_bank"] = state.bank if bank_flag else None
     scheduler = make_scheduler(scheduler_key, **options)
     failed = False
     try:
@@ -531,10 +552,13 @@ def run_campaign(
     n_workers:
         Number of worker processes.  ``1`` (default) runs everything in the
         calling process; larger values stream (configuration, replicate,
-        scheduler) tasks over a :class:`concurrent.futures.ProcessPoolExecutor`
-        whose workers keep their instance cache and solver backend alive
-        across tasks.  The returned record set is bit-identical (up to the
-        ``scheduler_time`` measurement) for every worker count.
+        scheduler) tasks over per-worker *lanes* (one single-process pool
+        each) with whole ``(configuration, replicate)`` groups dealt to a
+        fixed lane by first appearance -- so every worker keeps its
+        instance cache, solver backend and cross-run solver-state bank
+        effective across the schedulers of its replicates.  The returned
+        record set is bit-identical (up to the ``scheduler_time``
+        measurement) for every worker count, bank on or off.
     scheduler_options:
         Optional per-scheduler-key constructor options (e.g.
         ``{"bender98": {"max_jobs_per_resolution": 30}}``).  Must be
@@ -662,6 +686,31 @@ def run_campaign(
     return run.results()
 
 
+def _lane_assignments(tasks: Sequence[CampaignTask], n_workers: int) -> list[int]:
+    """The worker lane of every task: whole instance groups, dealt round-robin.
+
+    Groups are ``(configuration name, replicate)`` -- one realized instance
+    each -- numbered by first appearance over the *full* canonical task list
+    and dealt modulo ``n_workers`` (the same rule
+    :class:`~repro.experiments.sharding.ShardPlan` uses across shard legs,
+    so placement is resume-stable: restored tasks still consume their
+    group's position).  Keeping a group whole on one lane is what gives the
+    worker's instance cache, backend state and solver bank their hit rate,
+    and what makes every bank bucket's history independent of the worker
+    count.
+    """
+    lanes: list[int] = []
+    group_lane: dict[tuple[str, int], int] = {}
+    for task in tasks:
+        group = (task.config.name, task.replicate)
+        lane = group_lane.get(group)
+        if lane is None:
+            lane = len(group_lane) % n_workers
+            group_lane[group] = lane
+        lanes.append(lane)
+    return lanes
+
+
 def _run_pooled(
     run: _CampaignRun,
     pending: Sequence[int],
@@ -669,33 +718,55 @@ def _run_pooled(
     scheduler_options: Mapping[str, Mapping[str, object]] | None,
     max_in_flight: int,
 ) -> None:
-    """Stream ``pending`` task indices through a process pool.
+    """Stream ``pending`` task indices through per-lane single-worker pools.
 
-    Submission is windowed (bounded memory: at most ``max_in_flight`` live
-    futures) and collection uses ``wait(FIRST_COMPLETED)``, so records are
-    checkpointed and reported the moment they finish -- a straggler task
-    blocks neither the progress stream nor the submission of new work.
+    Each lane is a dedicated one-process pool fed in canonical order from
+    its own FIFO queue, so a lane's tasks execute exactly in serial order on
+    one long-lived worker (replicate affinity); submission is windowed per
+    lane (bounded memory, and the worker never idles waiting for the
+    collector) and collection uses ``wait(FIRST_COMPLETED)`` across all
+    lanes, so records are checkpointed and reported the moment they finish
+    -- a straggler lane blocks neither the progress stream nor the other
+    lanes.
     """
     tasks = run.tasks
-    iterator = iter(pending)
+    lanes = _lane_assignments(tasks, n_workers)
+    queues: list[deque[int]] = [deque() for _ in range(n_workers)]
+    for index in pending:
+        queues[lanes[index]].append(index)
+    window = max(1, max_in_flight // n_workers)
+
+    pools: dict[int, ProcessPoolExecutor] = {}
     in_flight: dict[object, int] = {}
-    with ProcessPoolExecutor(max_workers=n_workers, initializer=_init_worker) as pool:
+    try:
 
-        def submit_next() -> None:
-            index = next(iterator, None)
-            if index is not None:
-                task = tasks[index]
-                future = pool.submit(
-                    _run_task, task.config, task.replicate, task.scheduler_key,
-                    task.seed, scheduler_options,
-                )
-                in_flight[future] = index
+        def submit_next(lane: int) -> None:
+            queue = queues[lane]
+            if not queue:
+                return
+            index = queue.popleft()
+            task = tasks[index]
+            pool = pools.get(lane)
+            if pool is None:
+                # Lazily created: an empty lane (fewer pending groups than
+                # workers, or a mostly-restored resume) costs no process.
+                pool = ProcessPoolExecutor(max_workers=1, initializer=_init_worker)
+                pools[lane] = pool
+            future = pool.submit(
+                _run_task, task.config, task.replicate, task.scheduler_key,
+                task.seed, scheduler_options,
+            )
+            in_flight[future] = index
 
-        for _ in range(max(1, max_in_flight)):
-            submit_next()
+        for lane in range(n_workers):
+            for _ in range(window):
+                submit_next(lane)
         while in_flight:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
                 index = in_flight.pop(future)
-                submit_next()
+                submit_next(lanes[index])
                 run.finish(index, future.result())
+    finally:
+        for pool in pools.values():
+            pool.shutdown(wait=True, cancel_futures=True)

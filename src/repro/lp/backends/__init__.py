@@ -22,15 +22,18 @@ from repro.lp.backends.base import (
     LPSpec,
     SolverBackend,
     WarmStartHint,
+    note_bank_lookup,
     note_basis_reuse,
     note_certificate_skips,
     note_milestone_search,
+    note_primal_reuse,
     record_lp_probes,
 )
 from repro.lp.backends.highs import (
     HighsPersistentBackend,
     highs_available,
     highs_source,
+    highs_unavailable_reason,
 )
 from repro.lp.backends.scipy_backend import ScipyBackend
 
@@ -41,13 +44,16 @@ __all__ = [
     "WarmStartHint",
     "LPProbeStats",
     "record_lp_probes",
+    "note_bank_lookup",
     "note_basis_reuse",
     "note_certificate_skips",
     "note_milestone_search",
+    "note_primal_reuse",
     "ScipyBackend",
     "HighsPersistentBackend",
     "highs_available",
     "highs_source",
+    "highs_unavailable_reason",
     "BACKEND_CHOICES",
     "available_backends",
     "make_backend",

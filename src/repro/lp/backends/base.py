@@ -46,6 +46,8 @@ __all__ = [
     "note_certificate_skips",
     "note_basis_reuse",
     "note_milestone_search",
+    "note_bank_lookup",
+    "note_primal_reuse",
 ]
 
 
@@ -200,6 +202,26 @@ class SolverBackend(ABC):
     def close(self) -> None:
         """Release any persistent solver state (no-op by default)."""
 
+    def export_series_state(self) -> object | None:
+        """A process-local snapshot of the warm-start series bases.
+
+        Persistent backends return a serializable payload capturing the
+        retained per-series dual-simplex bases, suitable for
+        :meth:`import_series_state` on a *fresh* backend of the same class
+        (the cross-run solver-state bank of :mod:`repro.lp.bank` stores
+        these per instance content key).  Stateless backends return
+        ``None`` -- there is nothing to carry.
+        """
+        return None
+
+    def import_series_state(self, payload: object | None) -> None:
+        """Seed the warm-start series bases from an exported snapshot.
+
+        Accepts the payload of :meth:`export_series_state` (``None`` is a
+        no-op).  Purely an accelerator: imported bases only change where
+        dual simplex *starts*, never which optimum it reports.
+        """
+
     @staticmethod
     def infeasible_result(spec: LPSpec, message: str = "") -> LPResult:
         """The canonical infeasible :class:`LPResult` for ``spec``."""
@@ -245,6 +267,16 @@ class LPProbeStats:
     #: search, in completion order (feeds the per-replan medians of
     #: ``benchmarks/bench_lp_scaling.py``).
     searches: list[tuple[int, int]] = field(default_factory=list)
+    #: Cross-run solver-state bank lookups that found a warm bucket for the
+    #: run's instance content key (:mod:`repro.lp.bank`).
+    n_bank_hits: int = 0
+    #: Bank lookups that started a cold bucket (first run of a content group
+    #: on its worker, or the bank disabled upstream never counts here).
+    n_bank_misses: int = 0
+    #: Whole LP solves skipped by reusing a stored primal solution -- a
+    #: banked System (1)/(2) optimum for an exactly-matching problem
+    #: signature, or the feasible-side shrink-only carry within a run.
+    n_primal_reuses: int = 0
 
     @property
     def per_probe_seconds(self) -> float:
@@ -262,6 +294,9 @@ class LPProbeStats:
             "certificate_skipped": self.n_certificate_skipped,
             "basis_reused": self.n_basis_reused,
             "interior_exits": self.n_interior_exits,
+            "bank_hits": self.n_bank_hits,
+            "bank_misses": self.n_bank_misses,
+            "primal_reuses": self.n_primal_reuses,
         }
 
 
@@ -297,6 +332,21 @@ def note_milestone_search(solved: int, skipped: int, interior_exit: bool) -> Non
         stats.searches.append((solved, skipped))
         if interior_exit:
             stats.n_interior_exits += 1
+
+
+def note_bank_lookup(hit: bool) -> None:
+    """Record one solver-state-bank bucket acquisition (warm or cold)."""
+    for stats in _ACTIVE_STATS:
+        if hit:
+            stats.n_bank_hits += 1
+        else:
+            stats.n_bank_misses += 1
+
+
+def note_primal_reuse() -> None:
+    """Record one whole LP solve replaced by a stored primal solution."""
+    for stats in _ACTIVE_STATS:
+        stats.n_primal_reuses += 1
 
 
 @contextmanager

@@ -54,7 +54,12 @@ from repro.lp.backends.base import (
     note_basis_reuse,
 )
 
-__all__ = ["HighsPersistentBackend", "highs_available", "highs_source"]
+__all__ = [
+    "HighsPersistentBackend",
+    "highs_available",
+    "highs_source",
+    "highs_unavailable_reason",
+]
 
 #: Live models kept per backend instance.  One replan touches a handful of
 #: milestone patterns; a small multiple of that bounds memory on long
@@ -122,6 +127,39 @@ def highs_source() -> str | None:
     """Which bindings back the persistent backend ('highspy'/'scipy-vendored')."""
     api = _load_api()
     return api.source if api is not None else None
+
+
+def highs_unavailable_reason() -> str | None:
+    """Why no HiGHS bindings could be resolved (``None`` when they could).
+
+    Distinguishes the two failure modes an operator can actually act on:
+    ``highspy`` missing on an old scipy (install either), versus bindings
+    that import but expose an incompatible API (upgrade them).  Mirrors the
+    resolution order of :func:`_load_api`.
+    """
+    if _load_api() is not None:
+        return None
+    try:
+        import highspy  # type: ignore[import-not-found]  # noqa: F401
+    except ImportError:
+        highspy_reason = "highspy is not installed"
+    else:
+        highspy_reason = (
+            "highspy is installed but exposes an incompatible API"
+            " (needs highspy >= 1.5)"
+        )
+    try:
+        from scipy.optimize._highspy import _core  # type: ignore[import-not-found]  # noqa: F401
+    except ImportError:
+        import scipy
+
+        vendored_reason = (
+            f"scipy {scipy.__version__} does not vendor the HiGHS bindings"
+            " (needs scipy >= 1.15)"
+        )
+    else:
+        vendored_reason = "scipy's vendored HiGHS bindings expose an incompatible API"
+    return f"{highspy_reason}, and {vendored_reason}"
 
 
 @dataclass
@@ -199,7 +237,8 @@ class HighsPersistentBackend(SolverBackend):
         api = _load_api()
         if api is None:
             raise SolverError(
-                "HiGHS backend requested but no bindings are available; "
+                "HiGHS backend requested but no bindings are available "
+                f"({highs_unavailable_reason()}); "
                 "install the optional dependency with "
                 "`pip install repro-stretch[highs]` (or any highspy >= 1.5), "
                 "or use --solver-backend scipy"
@@ -271,6 +310,45 @@ class HighsPersistentBackend(SolverBackend):
         self._models.clear()
         self._series.clear()
         self._scratch = None
+
+    # -- series-state serialization (cross-run solver-state bank) -------------------
+    def export_series_state(self) -> "dict | None":
+        """Snapshot the retained warm-start series bases (see the bank).
+
+        The payload holds plain numpy arrays only -- no live ``Highs``
+        objects -- so it survives in the per-worker
+        :class:`~repro.lp.bank.SolverStateBank` long after this backend is
+        closed, and seeding a fresh backend from it is just array copies.
+        """
+        if not self._series:
+            return None
+        return {
+            series: (
+                basis.col_ids.copy(),
+                basis.col_status.copy(),
+                basis.row_ids.copy(),
+                basis.row_status.copy(),
+            )
+            for series, basis in self._series.items()
+        }
+
+    def import_series_state(self, payload: "dict | None") -> None:
+        """Seed the series bases from an :meth:`export_series_state` payload.
+
+        Imported bases are transplanted exactly like bases captured by this
+        backend's own solves: through the caller's stable identities, with
+        HiGHS repairing any rank deficiency -- so a stale snapshot can only
+        cost simplex iterations, never change an optimum.
+        """
+        if not payload:
+            return
+        for series, (col_ids, col_status, row_ids, row_status) in payload.items():
+            self._series[series] = _SeriesBasis(
+                np.array(col_ids, dtype=np.int64),
+                np.array(col_status, dtype=np.int8),
+                np.array(row_ids, dtype=np.int64),
+                np.array(row_status, dtype=np.int8),
+            )
 
     # -- model lifecycle -----------------------------------------------------------
     def _new_solver(self):

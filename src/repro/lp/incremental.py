@@ -33,6 +33,27 @@ bit-identical guarantee above; the persistent HiGHS backend
 (``solver_backend="highs"``) additionally keeps factorized solver models
 alive between probes and replans, which changes results only within solver
 tolerance (equivalence is enforced by ``tests/test_lp_backends.py``).
+
+Two further accelerators stack on top of the per-run caches:
+
+* a **cross-run solver-state bank** (:mod:`repro.lp.bank`): when the
+  campaign runner hands the context a :class:`~repro.lp.bank.SolverStateBank`,
+  the bucket for the instance's content key supplies banked primal optima
+  (exact :func:`~repro.lp.bank.problem_signature` matches skip the whole
+  System (1) search or System (2) re-optimization), first-replan warm
+  hints, and the previous publisher's exported warm-start bases; the
+  context publishes its own final state back on run completion
+  (:meth:`ReplanContext.publish`);
+* a **feasible-side carry** within the run: when the active set only
+  *shrank* since the previous replan (a subset of the jobs, none with more
+  remaining work), the accepted :math:`S^*` stays feasible and is passed
+  as ``feasible_cap`` so the milestone search never gallops upward past
+  the known-feasible interval -- and an exactly-unchanged problem reuses
+  the previous solution outright.
+
+Both are accelerators only -- banked solutions are exact optima of
+content-identical LPs and hints/caps merely reorder a monotone search --
+so acceptance logic in :mod:`repro.lp.maxstretch` is untouched.
 """
 
 from __future__ import annotations
@@ -40,7 +61,13 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core.instance import Instance
-from repro.lp.backends import SolverBackend, make_backend
+from repro.lp.backends import (
+    SolverBackend,
+    make_backend,
+    note_bank_lookup,
+    note_primal_reuse,
+)
+from repro.lp.bank import BankBucket, SolverStateBank, instance_content_key, problem_signature
 from repro.lp.maxstretch import (
     ConstraintSkeleton,
     MaxStretchSolution,
@@ -84,6 +111,15 @@ class ReplanContext:
         cache, so consecutive milestone probes and System (2) solves sharing
         a skeleton pattern are delta updates on an already-factorized model
         instead of from-scratch rebuilds.
+    state_bank:
+        Optional :class:`~repro.lp.bank.SolverStateBank` shared across the
+        runs of one campaign worker.  The context acquires the bucket for
+        the instance's content key at construction (seeding the backend's
+        warm-start series from the previous publisher's exported bases),
+        consumes banked primal solutions and first-replan hints during the
+        run, and publishes its own final state back through
+        :meth:`publish`.  ``None`` (the default, and every non-campaign
+        path) keeps the historical per-run-isolated behavior.
 
     Attributes
     ----------
@@ -111,6 +147,7 @@ class ReplanContext:
         *,
         solver_backend: "str | SolverBackend | None" = None,
         milestone_search: str | None = None,
+        state_bank: "SolverStateBank | None" = None,
     ):
         self.instance = instance
         self.resources: tuple[Resource, ...] = build_resources(instance)
@@ -123,7 +160,8 @@ class ReplanContext:
         self.backend: SolverBackend = make_backend(solver_backend)
         # A caller-supplied backend instance may have served a previous run;
         # drop its live models/bases so warm starts never cross simulations
-        # (no-op for the freshly made or stateless backends).
+        # (no-op for the freshly made or stateless backends).  Cross-run
+        # carry happens exclusively through the content-addressed bank.
         self.backend.close()
         self.milestone_search = milestone_search
         self.last_objective: float | None = None
@@ -132,6 +170,22 @@ class ReplanContext:
         self.n_probes_solved: int = 0
         self.n_probes_skipped: int = 0
         self._skeletons: dict[tuple, ConstraintSkeleton] = {}
+        self._bucket: BankBucket | None = None
+        self._bank_hit = False
+        # The hit/miss counter is emitted at the first solve instead of here
+        # so it lands inside the run's record_lp_probes block.
+        self._bank_lookup_pending = False
+        self._last_sig: tuple | None = None
+        self._last_problem: MaxStretchProblem | None = None
+        self._last_solution: MaxStretchSolution | None = None
+        self._prev_active: dict[int, float] | None = None
+        if state_bank is not None:
+            self._bucket, self._bank_hit = state_bank.acquire(
+                instance_content_key(instance)
+            )
+            self._bank_lookup_pending = True
+            if self._bank_hit and self._bucket.series_state is not None:
+                self.backend.import_series_state(self._bucket.series_state)
 
     # -- problem construction ------------------------------------------------------
     def build_problem(
@@ -161,41 +215,201 @@ class ReplanContext:
         carried certificate's re-evaluated bound when that refutes more
         (e.g. after a burst of arrivals increased the load).  Both only
         choose the first probed milestone interval; the search stays exact.
+
+        Before searching at all, two exact-match shortcuts are tried: a
+        problem content-identical to the previous replan's reuses its
+        solution outright, and a banked solution stored for the same
+        :func:`~repro.lp.bank.problem_signature` by an earlier run of the
+        same instance is re-bound and returned without solving.
         """
+        if self._bank_lookup_pending:
+            # Deferred from __init__ so the counter lands inside the run's
+            # record_lp_probes block rather than at scheduler construction.
+            self._bank_lookup_pending = False
+            note_bank_lookup(self._bank_hit)
+        sig = problem_signature(problem)
+        reused = self._reuse_sys1(problem, sig)
+        if reused is not None:
+            return reused
+
         report = MilestoneSearchReport()
         solution = minimize_max_weighted_flow(
             problem,
             warm_start=self._warm_hint(problem),
+            feasible_cap=self._feasible_cap(problem),
             skeleton_cache=self._skeletons,
             backend=self.backend,
             search=self.milestone_search,
             report=report,
         )
-        self.last_objective = solution.objective
-        self.last_certificate = report.certificate or self.last_certificate
-        self.n_replans += 1
+        self._note_solution(problem, sig, solution, report.certificate)
         self.n_probes_solved += report.n_solved
         self.n_probes_skipped += report.n_skipped
         self._trim_skeletons()
+        if self._bucket is not None and sig not in self._bucket.sys1:
+            self._bucket.sys1[sig] = (solution, report.certificate)
+            self._bucket.trim()
         return solution
 
+    def _reuse_sys1(
+        self, problem: MaxStretchProblem, sig: tuple
+    ) -> MaxStretchSolution | None:
+        """A stored System (1) optimum for ``sig``, or ``None`` to solve.
+
+        Checks the previous replan of *this* run first (the active set can
+        be unchanged when a replan fires without progress), then the bank
+        bucket (an earlier run of the content-identical instance solved the
+        exact same problem -- e.g. every variant's first replan, before any
+        executed work diverges).  A reused solution is an exact optimum of
+        this problem, so downstream acceptance is unchanged.
+        """
+        if sig == self._last_sig and self._last_solution is not None:
+            note_primal_reuse()
+            solution = self._rebind(self._last_solution, problem)
+            self._note_solution(problem, sig, solution, None)
+            return solution
+        if self._bucket is not None:
+            stored = self._bucket.sys1.get(sig)
+            if stored is not None:
+                banked, certificate = stored
+                note_primal_reuse()
+                solution = self._rebind(banked, problem)
+                self._note_solution(problem, sig, solution, certificate)
+                return solution
+        return None
+
+    def _note_solution(
+        self,
+        problem: MaxStretchProblem,
+        sig: tuple,
+        solution: MaxStretchSolution,
+        certificate: SearchCertificate | None,
+    ) -> None:
+        """Per-replan bookkeeping shared by the solved and reused paths."""
+        self.last_objective = solution.objective
+        self.last_certificate = certificate or self.last_certificate
+        self.n_replans += 1
+        self._last_sig = sig
+        self._last_problem = problem
+        self._last_solution = solution
+        self._prev_active = {
+            job.job_id: job.remaining_work for job in problem.jobs
+        }
+
+    @staticmethod
+    def _rebind(
+        solution: MaxStretchSolution, problem: MaxStretchProblem
+    ) -> MaxStretchSolution:
+        """``solution`` re-anchored on ``problem`` (same content, new object).
+
+        Banked solutions keep a reference to the publisher run's problem;
+        consumers swap in their own so every derived accessor
+        (``deadline``, per-resource allocation views, ...) resolves against
+        the live run's job objects.  The interval structure and allocation
+        payload are shared -- both are immutable in practice (the structure
+        is frozen, the allocation dict is copied).
+        """
+        if solution.problem is problem:
+            return solution
+        return MaxStretchSolution(
+            objective=solution.objective,
+            problem=problem,
+            structure=solution.structure,
+            interval_bounds=solution.interval_bounds,
+            allocations=dict(solution.allocations),
+        )
+
     def _warm_hint(self, problem: MaxStretchProblem) -> float | None:
-        """The milestone-search warm start for ``problem`` (None on the first replan)."""
+        """The milestone-search warm start for ``problem``.
+
+        ``None`` on a cold first replan; with a warm bank bucket the first
+        replan starts from the previous publisher's final :math:`S^*` and
+        strongest certificate instead (probe order only, like every hint).
+        """
         hint = self.last_objective
-        if self.last_certificate is not None:
+        certificate = self.last_certificate
+        if hint is None and self._bucket is not None:
+            hint = self._bucket.last_objective
+            certificate = certificate or self._bucket.certificate
+        if certificate is not None:
             works = {job.job_id: job.remaining_work for job in problem.jobs}
-            bound = self.last_certificate.bound_for(works)
+            bound = certificate.bound_for(works)
             if bound is not None and (hint is None or bound > hint):
                 hint = bound
         return hint
 
+    def _feasible_cap(self, problem: MaxStretchProblem) -> float | None:
+        """The previous :math:`S^*` when it is provably still feasible.
+
+        Feasibility survives when the active set only shrank: every job of
+        ``problem`` already existed at the previous replan with at least as
+        much remaining work, so the previous accepted allocation (restricted
+        to the survivors) still meets every deadline at the previous
+        objective.  Under the default replan-on-arrival policy the set only
+        ever grows, so this fires for batched/threshold replan policies and
+        degenerate same-set replans -- never changing existing probe counts.
+        """
+        if self.last_objective is None or self._prev_active is None:
+            return None
+        prev = self._prev_active
+        for job in problem.jobs:
+            before = prev.get(job.job_id)
+            if before is None or job.remaining_work > before + 1e-12:
+                return None
+        return self.last_objective
+
     def reoptimize(
         self, problem: MaxStretchProblem, objective: float
     ) -> MaxStretchSolution:
-        """System (2) at fixed ``objective``, sharing the skeleton cache."""
-        return reoptimize_allocation(
+        """System (2) at fixed ``objective``, sharing the skeleton cache.
+
+        With a bank bucket, a re-optimization already published for the
+        exact ``(problem signature, objective)`` pair is re-bound and
+        returned without solving (the deterministic inflation loop makes
+        the stored solution the one this call would compute).
+        """
+        if self._bucket is None:
+            return reoptimize_allocation(
+                problem, objective, skeleton_cache=self._skeletons, backend=self.backend
+            )
+        sig = (
+            self._last_sig
+            if problem is self._last_problem
+            else problem_signature(problem)
+        )
+        key = (sig, objective)
+        banked = self._bucket.sys2.get(key)
+        if banked is not None:
+            note_primal_reuse()
+            return self._rebind(banked, problem)
+        solution = reoptimize_allocation(
             problem, objective, skeleton_cache=self._skeletons, backend=self.backend
         )
+        self._bucket.sys2[key] = solution
+        self._bucket.trim()
+        return solution
+
+    # -- bank publication ----------------------------------------------------------
+    def publish(self) -> None:
+        """Publish the run's final solver state into the bank bucket.
+
+        Called on run completion (the scheduler's ``finalize`` hook).  The
+        final :math:`S^*`/certificate overwrite the bucket's hint state
+        (latest publisher wins -- any content-identical state is an equally
+        good hint); the exported warm-start bases are kept first-publisher
+        wins, since later runs consumed them and re-deriving adds nothing.
+        No-op without a bank.
+        """
+        bucket = self._bucket
+        if bucket is None:
+            return
+        if self.last_objective is not None:
+            bucket.last_objective = self.last_objective
+            if self.last_certificate is not None:
+                bucket.certificate = self.last_certificate
+        if bucket.series_state is None:
+            bucket.series_state = self.backend.export_series_state()
+        bucket.n_publications += 1
 
     def close(self) -> None:
         """Release the backend's persistent solver state (live HiGHS models)."""

@@ -696,6 +696,7 @@ def minimize_max_weighted_flow(
     *,
     max_milestones: int | None = None,
     warm_start: float | None = None,
+    feasible_cap: float | None = None,
     skeleton_cache: MutableMapping[tuple, ConstraintSkeleton] | None = None,
     backend: SolverBackend | None = None,
     search: str | None = None,
@@ -719,6 +720,17 @@ def minimize_max_weighted_flow(
         search starts at the interval containing it.  Because feasibility is
         monotone in the objective, the result is *identical* to a cold
         search -- only the probe order changes.
+    feasible_cap:
+        Optional objective value the caller *knows* to be feasible for
+        ``problem`` -- the feasible-side counterpart of the certificate
+        lower bounds.  The on-line heuristics pass the previous replan's
+        accepted :math:`S^*` when the active set only shrank since (less
+        remaining work over a subset of the jobs keeps every feasible
+        allocation feasible).  The search start is clamped down to the
+        interval containing the cap, so the first probe is at worst the
+        known-feasible interval and the search never gallops upward past
+        it.  Like ``warm_start`` this changes probe order only, never the
+        accepted optimum.
     skeleton_cache:
         Optional mapping reusing constraint skeletons across solves (see
         :class:`ConstraintSkeleton`).
@@ -760,6 +772,8 @@ def minimize_max_weighted_flow(
     start_idx = 0
     if warm_start is not None and last > 0:
         start_idx = min(max(bisect.bisect_right(boundaries, warm_start) - 1, 0), last)
+    if feasible_cap is not None and last > 0:
+        start_idx = min(start_idx, _interval_of(boundaries, feasible_cap, 0, last))
 
     best = _search_first_feasible(
         problem,

@@ -63,6 +63,15 @@ class Scheduler(ABC):
     def on_completion(self, state: SchedulerState, job_id: int) -> None:
         """Called when a job completes."""
 
+    def finalize(self, state: SchedulerState) -> None:
+        """Called once after the last job completed (the run is over).
+
+        Strategies holding reusable solver state publish it here (e.g. the
+        LP heuristics pushing warm-start state into the cross-run solver
+        bank).  Must not alter the schedule -- the engine has already
+        stopped executing assignments when this fires.
+        """
+
     @abstractmethod
     def assign(self, state: SchedulerState) -> Assignment:
         """Return the machine->job assignment to apply from ``state.time`` on."""

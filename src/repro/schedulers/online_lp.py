@@ -50,6 +50,7 @@ from repro.lp.aggregation import (
     swrpt_terminal_order,
 )
 from repro.lp.backends import SolverBackend, make_backend
+from repro.lp.bank import SolverStateBank
 from repro.lp.incremental import ReplanContext
 from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
@@ -92,6 +93,13 @@ class OnlineLPScheduler(PlanBasedScheduler):
         lives at the solver layer (one instance per run, owned by the
         ReplanContext when ``incremental`` is on), so the from-scratch
         planning path can still be measured against both backends.
+    state_bank:
+        Optional :class:`~repro.lp.bank.SolverStateBank` shared across runs
+        (the campaign workers hold one each).  Only honoured with
+        ``incremental=True``; any non-bank value -- including the raw
+        booleans of :attr:`ExperimentConfig.state_bank`, which only the
+        campaign runner translates into a live bank -- is treated as "no
+        bank", so direct ``simulate()`` and CLI paths stay bank-less.
     """
 
     def __init__(
@@ -101,6 +109,7 @@ class OnlineLPScheduler(PlanBasedScheduler):
         policy: "str | ReplanPolicy" = "on-arrival",
         incremental: bool = True,
         solver_backend: "str | SolverBackend | None" = None,
+        state_bank: "SolverStateBank | object | None" = None,
     ):
         super().__init__(policy=parse_policy(policy))
         if variant not in _VARIANT_NAMES:
@@ -113,6 +122,9 @@ class OnlineLPScheduler(PlanBasedScheduler):
             self.name = f"{self.name} [{self.policy.describe()}]"
         self.incremental = incremental
         self.solver_backend = solver_backend
+        self.state_bank: SolverStateBank | None = (
+            state_bank if isinstance(state_bank, SolverStateBank) else None
+        )
         self._backend: SolverBackend | None = None
         self._context: ReplanContext | None = None
         #: Best achievable max-stretch computed at the last release date.
@@ -126,7 +138,9 @@ class OnlineLPScheduler(PlanBasedScheduler):
         super().reset(instance)
         if self.incremental:
             self._context = ReplanContext(
-                instance, solver_backend=self.solver_backend
+                instance,
+                solver_backend=self.solver_backend,
+                state_bank=self.state_bank,
             )
             self._backend = self._context.backend
         else:
@@ -144,6 +158,11 @@ class OnlineLPScheduler(PlanBasedScheduler):
         # Kept for API compatibility (direct calls in tests/examples); the
         # policy-driven path goes through PlanBasedScheduler.on_arrivals.
         self._do_replan(state)
+
+    def finalize(self, state: SchedulerState) -> None:
+        """Publish the run's final solver state into the cross-run bank."""
+        if self._context is not None:
+            self._context.publish()
 
     def replan(self, state: SchedulerState) -> None:
         instance = state.instance

@@ -211,6 +211,11 @@ class SimulationEngine:
             # 7. Complete finished jobs.
             self._collect_completions()
 
+        # Every job completed: let the scheduler publish reusable state
+        # (cross-run solver bank).  Counted into the scheduler wall-clock,
+        # like every other callback.
+        self._timed(self.scheduler.finalize, state)
+
         schedule = Schedule(_merge_adjacent(self._slices))
         return SimulationResult(
             instance=instance,

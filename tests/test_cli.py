@@ -41,6 +41,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--solver-backend", "cplex"])
 
+    def test_state_bank_flag(self):
+        # The cross-run solver-state bank is on by default; 'off' is the
+        # escape hatch that re-pays every cold solve.
+        assert build_parser().parse_args(["campaign"]).state_bank == "on"
+        args = build_parser().parse_args(["campaign", "--state-bank", "off"])
+        assert args.state_bank == "off"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--state-bank", "maybe"])
+
     def test_campaign_engine_flags(self):
         args = build_parser().parse_args(
             ["campaign", "--checkpoint", "ck.jsonl", "--resume", "--workers", "4"]
@@ -130,6 +139,28 @@ class TestCommands:
         err = capsys.readouterr().err
         assert code == 2
         assert "highspy" in err
+
+    def test_highs_unavailable_error_carries_the_probed_reason(
+        self, capsys, monkeypatch
+    ):
+        # When the availability probe can tell *why* the bindings are out
+        # (highspy missing vs scipy too old vs incompatible APIs), the
+        # error must surface that diagnosis, not just the install hint.
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(cli_mod, "available_backends", lambda: ("scipy",))
+        monkeypatch.setattr(
+            cli_mod,
+            "highs_unavailable_reason",
+            lambda: "highspy is not installed, and scipy 1.10 does not vendor "
+            "the HiGHS bindings (needs scipy >= 1.15)",
+        )
+        code = main(["simulate", "--max-jobs", "3", "--solver-backend", "highs"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "highspy is not installed" in err
+        assert "scipy 1.10 does not vendor" in err
+        assert "--solver-backend auto" in err
 
     def test_simulate_with_trace_and_gantt(self, capsys):
         code = main(

@@ -344,6 +344,9 @@ class TestProbeHistogram:
             "certificate_skipped",
             "basis_reused",
             "interior_exits",
+            "bank_hits",
+            "bank_misses",
+            "primal_reuses",
         }
 
     @requires_highs

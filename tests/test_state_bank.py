@@ -1,0 +1,447 @@
+"""Tests for the content-addressed cross-run solver-state bank.
+
+The bank's contract is strictly *accelerator, not oracle*: with the scipy
+backend every banked answer is bitwise identical to the cold solve, so a
+whole campaign run with the bank on must produce the exact record set of
+the bank-off run -- and, through replicate-affinity lane placement, the
+exact record set of the serial run at any worker count.  Warm HiGHS bases
+shift results only at solver tolerance, which the two-tier A/B gate of
+``repro.experiments.ab`` covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.ab import compare_record_sets
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import CampaignCheckpoint
+from repro.experiments.overhead import scheduling_overhead
+from repro.experiments.runner import (
+    ExperimentResults,
+    _lane_assignments,
+    campaign_tasks,
+    run_campaign,
+)
+from repro.lp.backends import highs_available, make_backend, record_lp_probes
+from repro.lp.bank import (
+    BankBucket,
+    SolverStateBank,
+    instance_content_key,
+    problem_signature,
+)
+from repro.lp.incremental import ReplanContext
+from repro.lp.maxstretch import minimize_max_weighted_flow
+from repro.lp.problem import problem_from_instance
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+from repro.workload.generator import generate_instance
+
+from helpers import make_uniform_instance
+
+requires_highs = pytest.mark.skipif(
+    not highs_available(),
+    reason="neither highspy nor scipy-vendored HiGHS bindings are available",
+)
+
+ONLINE_KEYS = ("online", "online-edf", "online-egdf", "online-nonopt")
+
+#: Small but LP-heavy design: two configs x two replicates, all four on-line
+#: variants sharing each realized instance plus one list scheduler.
+CONFIGS = [
+    ExperimentConfig(
+        name="bank-a", n_clusters=2, n_databanks=2, availability=0.6,
+        density=1.0, processors_per_cluster=3, window=18.0, max_jobs=8,
+    ),
+    ExperimentConfig(
+        name="bank-b", n_clusters=3, n_databanks=3, availability=0.9,
+        density=1.5, processors_per_cluster=3, window=18.0, max_jobs=8,
+    ),
+]
+KEYS = ONLINE_KEYS + ("swrpt",)
+REPLICATES = 2
+SEED = 31
+
+
+def _campaign(
+    configs=CONFIGS, *, n_workers=1, state_bank=True, solver_backend=None,
+    checkpoint=None, resume=False,
+) -> ExperimentResults:
+    cfgs = [replace(c, state_bank=state_bank) for c in configs]
+    if solver_backend is not None:
+        cfgs = [replace(c, solver_backend=solver_backend) for c in cfgs]
+    return run_campaign(
+        cfgs, scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED,
+        n_workers=n_workers, checkpoint=checkpoint, resume=resume,
+    )
+
+
+def _instance(config: ExperimentConfig, seed: int = 5):
+    return generate_instance(config.platform_spec(), config.workload_spec(), rng=seed)
+
+
+# -- bank container ------------------------------------------------------------------
+
+
+class TestSolverStateBank:
+    def test_acquire_miss_then_hit_once_warm(self):
+        bank = SolverStateBank()
+        bucket, hit = bank.acquire("k1")
+        assert not hit  # first sight: cold bucket
+        bucket2, hit2 = bank.acquire("k1")
+        assert bucket2 is bucket
+        assert not hit2  # still cold: nothing was published yet
+        bucket.n_publications += 1
+        _, hit3 = bank.acquire("k1")
+        assert hit3
+        assert bank.stats() == {"n_buckets": 1, "n_hits": 1, "n_misses": 2}
+
+    def test_lru_eviction_bounds_resident_buckets(self):
+        bank = SolverStateBank(max_buckets=2)
+        a, _ = bank.acquire("a")
+        bank.acquire("b")
+        bank.acquire("c")  # evicts "a"
+        assert len(bank) == 2
+        fresh, hit = bank.acquire("a")
+        assert fresh is not a and not hit
+
+    def test_clear_drops_buckets_and_counters(self):
+        bank = SolverStateBank()
+        bucket, _ = bank.acquire("k")
+        bucket.n_publications = 1
+        bank.acquire("k")
+        bank.clear()
+        assert len(bank) == 0
+        assert bank.stats() == {"n_buckets": 0, "n_hits": 0, "n_misses": 0}
+
+    def test_bucket_trim_bounds_stored_solutions(self):
+        bucket = BankBucket()
+        for i in range(300):
+            bucket.sys1[(i,)] = object()
+            bucket.sys2[(i, 1.0)] = object()
+            bucket.trim()
+        assert len(bucket.sys1) == 128 and len(bucket.sys2) == 128
+        assert (299,) in bucket.sys1 and (0,) not in bucket.sys1  # newest survive
+
+
+# -- content addressing --------------------------------------------------------------
+
+
+class TestContentKey:
+    def test_key_is_stable_across_realizations(self):
+        # The same (config, seed) realized twice -- e.g. once per A/B leg,
+        # in different processes -- must map to the same bucket.
+        assert instance_content_key(_instance(CONFIGS[0])) == instance_content_key(
+            _instance(CONFIGS[0])
+        )
+
+    def test_key_ignores_solver_knobs(self):
+        # Backend / bank flags shape the *run*, not the instance: both A/B
+        # legs of one triple share the key.
+        knobbed = replace(CONFIGS[0], solver_backend="scipy", state_bank=False)
+        assert instance_content_key(_instance(knobbed)) == instance_content_key(
+            _instance(CONFIGS[0])
+        )
+
+    def test_key_separates_replicates_and_configs(self):
+        keys = {
+            instance_content_key(_instance(config, seed))
+            for config in CONFIGS
+            for seed in (5, 6)
+        }
+        assert len(keys) == 4
+
+    def test_key_sees_job_and_platform_content(self):
+        base = make_uniform_instance([4.0, 2.0], [0.0, 1.0])
+        bigger = make_uniform_instance([4.0, 3.0], [0.0, 1.0])
+        later = make_uniform_instance([4.0, 2.0], [0.0, 2.0])
+        slower = make_uniform_instance([4.0, 2.0], [0.0, 1.0], cycle_times=[2.0])
+        keys = {instance_content_key(i) for i in (base, bigger, later, slower)}
+        assert len(keys) == 4
+
+    def test_problem_signature_tracks_remaining_work(self):
+        instance = make_uniform_instance([4.0, 2.0], [0.0, 1.0])
+        full = problem_from_instance(instance, now=1.0)
+        partial = problem_from_instance(instance, now=1.0, remaining={0: 3.0, 1: 2.0})
+        assert problem_signature(full) != problem_signature(partial)
+        assert problem_signature(full) == problem_signature(
+            problem_from_instance(instance, now=1.0)
+        )
+
+
+# -- reuse is bitwise transparent ----------------------------------------------------
+
+
+class TestBankTransparency:
+    @pytest.mark.parametrize("variant", ONLINE_KEYS)
+    def test_banked_run_bitwise_equals_cold_run_on_scipy(self, variant):
+        config = CONFIGS[1]
+        instance = _instance(config)
+        bank = SolverStateBank()
+        results = {}
+        for publisher in ONLINE_KEYS:  # warm the bucket with every variant
+            if publisher == variant:
+                continue
+            scheduler = make_scheduler(
+                publisher, **{**config.scheduler_options_for(publisher),
+                              "solver_backend": "scipy", "state_bank": bank})
+            simulate(instance, scheduler)
+        for label, state_bank in (("banked", bank), ("cold", None)):
+            options = config.scheduler_options_for(variant)
+            options.update(solver_backend="scipy", state_bank=state_bank)
+            with record_lp_probes() as stats:
+                result = simulate(instance, make_scheduler(variant, **options))
+            results[label] = result
+            if label == "banked":
+                assert stats.n_bank_hits == 1
+                assert stats.n_primal_reuses > 0
+        banked, cold = results["banked"], results["cold"]
+        assert banked.max_stretch == cold.max_stretch
+        assert banked.sum_stretch == cold.sum_stretch
+        assert banked.makespan == cold.makespan
+        assert banked.sum_flow == cold.sum_flow
+
+    def test_bank_cuts_lp_solves_for_consumers(self):
+        config = CONFIGS[0]
+        instance = _instance(config)
+        bank = SolverStateBank()
+        probes = {}
+        for variant in ONLINE_KEYS:
+            options = config.scheduler_options_for(variant)
+            options.update(solver_backend="scipy", state_bank=bank)
+            probes[variant] = simulate(
+                instance, make_scheduler(variant, **options)
+            ).lp_probes
+        publisher = probes[ONLINE_KEYS[0]]
+        assert publisher.n_bank_misses == 1 and publisher.n_bank_hits == 0
+        for variant in ONLINE_KEYS[1:]:
+            consumer = probes[variant]
+            assert consumer.n_bank_hits == 1
+            assert consumer.n_primal_reuses > 0
+            assert consumer.n_probes < publisher.n_probes
+
+    def test_non_bank_values_are_ignored(self):
+        # ExperimentConfig hands a plain bool to every construction site;
+        # only the campaign workers swap in a live bank.
+        scheduler = make_scheduler("online", state_bank=True)
+        assert scheduler.state_bank is None
+        scheduler = make_scheduler("online", state_bank=SolverStateBank())
+        assert scheduler.state_bank is not None
+
+
+# -- campaign invariants -------------------------------------------------------------
+
+
+class TestCampaignInvariants:
+    @pytest.fixture(scope="class")
+    def serial_bank_on(self) -> ExperimentResults:
+        return _campaign(n_workers=1, state_bank=True)
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    def test_sharded_bit_identical_to_serial_with_bank(
+        self, serial_bank_on, n_workers
+    ):
+        sharded = _campaign(n_workers=n_workers, state_bank=True)
+        assert sharded.result_set() == serial_bank_on.result_set()
+
+    def test_sharded_bit_identical_to_serial_without_bank(self):
+        off_serial = _campaign(n_workers=1, state_bank=False)
+        off_sharded = _campaign(n_workers=2, state_bank=False)
+        assert off_sharded.result_set() == off_serial.result_set()
+
+    def test_bank_bitwise_invisible_on_scipy_backend(self):
+        on = _campaign(n_workers=2, state_bank=True, solver_backend="scipy")
+        off = _campaign(n_workers=2, state_bank=False, solver_backend="scipy")
+        keep = ("config", "replicate", "scheduler", "max_stretch", "sum_stretch",
+                "sum_flow", "max_flow", "makespan")
+
+        def strip(results):
+            return [{k: row[k] for k in keep} for row in results.result_set()]
+
+        assert strip(on) == strip(off)
+
+    def test_bank_on_off_passes_ab_gate_on_default_backend(self, serial_bank_on):
+        off = _campaign(n_workers=1, state_bank=False)
+        report = compare_record_sets(
+            serial_bank_on, off, backend_a="bank-on", backend_b="bank-off"
+        )
+        assert report.equivalent, (
+            report.objective_mismatches, report.aggregate_mismatches
+        )
+
+    def test_kill_and_resume_with_warm_bank(self, tmp_path):
+        # An interrupted bank-on campaign resumed mid-replicate: restored
+        # triples never republish, so resumed consumers may run cold -- the
+        # records must still come back exactly once and (on scipy) bitwise
+        # equal to the uninterrupted run.
+        uninterrupted = _campaign(n_workers=1, solver_backend="scipy")
+        full = tmp_path / "full.jsonl"
+        _campaign(n_workers=1, solver_backend="scipy", checkpoint=full)
+        lines = full.read_text().splitlines()
+        partial = tmp_path / "partial.jsonl"
+        # Keep the header, three whole records and a torn fourth line, so
+        # the cut lands *inside* the first (config, replicate) group.
+        partial.write_text("\n".join(lines[:4]) + "\n" + lines[4][: 10])
+        resumed = _campaign(
+            n_workers=2, solver_backend="scipy", checkpoint=partial, resume=True
+        )
+        assert resumed.result_set() == uninterrupted.result_set()
+        done = CampaignCheckpoint(partial).load()
+        assert len(done) == len(CONFIGS) * REPLICATES * len(KEYS)  # exactly once
+
+
+class TestLaneAssignments:
+    def test_groups_are_dealt_round_robin_by_first_appearance(self):
+        tasks = campaign_tasks(CONFIGS, KEYS, REPLICATES, SEED)
+        lanes = _lane_assignments(tasks, 2)
+        assert len(lanes) == len(tasks)
+        by_group = {}
+        for task, lane in zip(tasks, lanes):
+            by_group.setdefault(task.triple[:2], set()).add(lane)
+        # A whole (config, replicate) group lives on one lane...
+        assert all(len(lanes_used) == 1 for lanes_used in by_group.values())
+        # ...and the four groups alternate between the two lanes.
+        ordered = [min(v) for v in by_group.values()]
+        assert ordered == [0, 1, 0, 1]
+
+    def test_single_worker_uses_one_lane(self):
+        tasks = campaign_tasks(CONFIGS, KEYS, REPLICATES, SEED)
+        assert set(_lane_assignments(tasks, 1)) == {0}
+
+
+# -- solver-layer pieces -------------------------------------------------------------
+
+
+class TestReplanContextBank:
+    def test_publish_populates_bucket_and_consumer_reuses(self):
+        instance = make_uniform_instance([6.0, 3.0, 2.0], [0.0, 0.5, 1.0])
+        bank = SolverStateBank()
+
+        publisher = ReplanContext(instance, solver_backend="scipy", state_bank=bank)
+        problem = publisher.build_problem(1.0, {0: 5.0, 1: 3.0, 2: 2.0})
+        solution = publisher.solve_max_stretch(problem)
+        publisher.reoptimize(problem, solution.objective)
+        publisher.publish()
+        publisher.close()
+
+        bucket, hit = bank.acquire(instance_content_key(instance))
+        assert hit and bucket.warm
+        assert bucket.n_publications == 1
+        assert bucket.last_objective == solution.objective
+        assert bucket.sys1 and bucket.sys2
+
+        consumer = ReplanContext(instance, solver_backend="scipy", state_bank=bank)
+        problem2 = consumer.build_problem(1.0, {0: 5.0, 1: 3.0, 2: 2.0})
+        with record_lp_probes() as stats:
+            reused = consumer.solve_max_stretch(problem2)
+            consumer.reoptimize(problem2, reused.objective)
+        consumer.close()
+        assert stats.n_probes == 0  # both systems answered from the bank
+        assert stats.n_primal_reuses == 2
+        assert reused.objective == solution.objective
+        assert reused.problem is problem2  # rebound onto the consumer's problem
+
+    def test_publish_without_bank_is_a_noop(self):
+        instance = make_uniform_instance([4.0, 2.0], [0.0, 1.0])
+        context = ReplanContext(instance, solver_backend="scipy")
+        context.publish()  # must not raise
+        context.close()
+
+    def test_finalize_hook_publishes_through_the_engine(self):
+        config = CONFIGS[0]
+        instance = _instance(config)
+        bank = SolverStateBank()
+        options = config.scheduler_options_for("online")
+        options.update(solver_backend="scipy", state_bank=bank)
+        simulate(instance, make_scheduler("online", **options))
+        bucket, hit = bank.acquire(instance_content_key(instance))
+        assert hit and bucket.n_publications == 1
+
+
+class TestFeasibleSideCarry:
+    def test_feasible_cap_preserves_the_optimum(self):
+        instance = make_uniform_instance([5.0, 3.0, 2.0], [0.0, 1.0, 2.0])
+        problem = problem_from_instance(instance, now=2.0)
+        cold = minimize_max_weighted_flow(problem)
+        capped = minimize_max_weighted_flow(problem, feasible_cap=cold.objective)
+        assert capped.objective == cold.objective
+        loose = minimize_max_weighted_flow(problem, feasible_cap=cold.objective * 4)
+        assert loose.objective == cold.objective
+
+    def test_shrinking_active_set_skips_the_winning_resolve(self):
+        # Replanning with the same jobs but strictly less remaining work:
+        # the previous S* stays feasible and caps the milestone search.
+        instance = make_uniform_instance([6.0, 4.0], [0.0, 0.0])
+        context = ReplanContext(instance, solver_backend="scipy")
+        first = context.build_problem(0.0, {0: 6.0, 1: 4.0})
+        cold = context.solve_max_stretch(first)
+        shrunk = context.build_problem(1.0, {0: 5.0, 1: 3.0})
+        assert context._feasible_cap(shrunk) == cold.objective
+        grown = context.build_problem(1.0, {0: 5.0, 1: 4.5})
+        assert context._feasible_cap(grown) is None
+        context.close()
+
+    def test_on_arrival_growth_never_caps(self):
+        # The default policy only replans when new jobs arrive, so the
+        # carried cap must never fire there (protects the probe-count gates).
+        instance = make_uniform_instance([6.0, 4.0], [0.0, 1.0])
+        context = ReplanContext(instance, solver_backend="scipy")
+        first = context.build_problem(0.0, {0: 6.0})
+        context.solve_max_stretch(first)
+        second = context.build_problem(1.0, {0: 5.0, 1: 4.0})
+        assert context._feasible_cap(second) is None
+        context.close()
+
+
+@requires_highs
+class TestSeriesStateRoundTrip:
+    def test_export_import_round_trip(self):
+        instance = make_uniform_instance([5.0, 3.0, 2.0], [0.0, 1.0, 2.0])
+        backend = make_backend("highs")
+        problem = problem_from_instance(instance, now=2.0)
+        solution = minimize_max_weighted_flow(problem, backend=backend)
+        # Export before close: closing resets the per-run series state
+        # (publish() in ReplanContext exports at finalize, pre-close).
+        payload = backend.export_series_state()
+        backend.close()
+        assert payload  # the solve left at least one warm series
+
+        warmed = make_backend("highs")
+        warmed.import_series_state(payload)
+        reexported = warmed.export_series_state()
+        assert set(reexported) == set(payload)
+        for series, arrays in payload.items():
+            assert all(
+                np.array_equal(a, b) for a, b in zip(reexported[series], arrays)
+            )
+        resolved = minimize_max_weighted_flow(problem, backend=warmed)
+        assert resolved.objective == pytest.approx(solution.objective, rel=1e-9)
+        warmed.close()
+
+    def test_import_tolerates_empty_payload(self):
+        backend = make_backend("highs")
+        backend.import_series_state(None)
+        backend.import_series_state({})
+        assert backend.export_series_state() is None
+        backend.close()
+
+
+# -- overhead surface ----------------------------------------------------------------
+
+
+class TestOverheadColumns:
+    def test_bank_columns_populate_with_a_live_bank(self):
+        kwargs = dict(
+            scheduler_keys=("online", "online-edf"), n_clusters=2, n_databanks=2,
+            window=12.0, max_jobs=6, replicates=2, solver_backend="scipy",
+        )
+        cold = scheduling_overhead(state_bank=False, **kwargs)
+        warm = scheduling_overhead(state_bank=True, **kwargs)
+        assert all(r.mean_bank_hits == 0 and r.mean_primal_reused == 0 for r in cold)
+        by_name = {r.scheduler: r for r in warm}
+        assert by_name["Online-EDF"].mean_bank_hits == 1.0
+        assert by_name["Online-EDF"].mean_primal_reused > 0
+        assert len(warm[0].cells()) == 10
