@@ -68,12 +68,38 @@ def write_artifact(name: str, content: str) -> Path:
     return path
 
 
+def read_json_baseline(name: str) -> dict:
+    """Load a committed JSON baseline, failing loudly when it is absent.
+
+    The JSON baselines (``BENCH_lp.json``, ``BENCH_campaign.json``) are
+    committed to the tree and referenced by ROADMAP/CHANGES/CI; a missing or
+    corrupt file used to be silently papered over (the merge started from
+    ``{}``), which let a referenced baseline drop out of the tree unnoticed.
+    Regenerate with the benchmark that owns the section and commit the file.
+    """
+    path = ARTIFACT_DIR / name
+    if not path.exists():
+        raise FileNotFoundError(
+            f"referenced benchmark baseline {path} is absent; run the "
+            f"benchmarks that own it and commit the regenerated file "
+            f"(sections are merged via update_json_artifact)"
+        )
+    existing = json.loads(path.read_text())
+    if not isinstance(existing, dict):
+        raise ValueError(f"benchmark baseline {path} is not a JSON object")
+    return existing
+
+
 def write_json_artifact(name: str, payload: object) -> Path:
     """Persist a machine-readable baseline (e.g. ``BENCH_lp.json``).
 
-    JSON artifacts are uploaded by CI so the perf trajectory (per-size LP
-    probe counts, solve times, backend speedups) can be compared across PRs
-    instead of living only in free-text benchmark logs.
+    JSON artifacts are committed and uploaded by CI so the perf trajectory
+    (per-size LP probe counts, solve times, backend speedups, replan
+    latencies) can be compared across PRs instead of living only in
+    free-text benchmark logs.  Overwrites the whole file; benchmarks that
+    own one *section* of a shared baseline go through
+    :func:`update_json_artifact`, which requires the committed file to be
+    present.
     """
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     path = ARTIFACT_DIR / name
@@ -81,23 +107,24 @@ def write_json_artifact(name: str, payload: object) -> Path:
     return path
 
 
-def update_json_artifact(name: str, section: str, payload: object) -> Path:
-    """Merge ``payload`` under ``section`` of an existing JSON artifact.
+def update_json_artifact(
+    name: str, section: str, payload: object, *, require_baseline: bool = True
+) -> Path:
+    """Merge ``payload`` under ``section`` of a committed JSON baseline.
 
     Lets several benchmarks share one baseline file (``BENCH_lp.json`` holds
-    both the backend comparison and the probe-elimination histogram) without
-    clobbering each other regardless of execution order.
+    the backend comparison, the probe-elimination histogram and the replan
+    latencies) without clobbering each other regardless of execution order.
+    The committed baseline must exist (see :func:`read_json_baseline`);
+    ``require_baseline=False`` is the bootstrap escape hatch for generating
+    a brand-new baseline file.
     """
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     path = ARTIFACT_DIR / name
-    merged: dict = {}
-    if path.exists():
-        try:
-            existing = json.loads(path.read_text())
-            if isinstance(existing, dict):
-                merged = existing
-        except json.JSONDecodeError:
-            pass
+    if require_baseline or path.exists():
+        merged = read_json_baseline(name)
+    else:
+        merged = {}
     merged[section] = payload
     path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
     return path

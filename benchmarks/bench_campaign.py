@@ -140,24 +140,35 @@ def bench_campaign_sharded_speedup(benchmark):
     speedup = serial_seconds / sharded_seconds if sharded_seconds > 0 else 0.0
     cpu_count = os.cpu_count() or 1
     enforced = cpu_count >= workers
-    _update_artifact(
-        "sharded_speedup",
-        {
-            "n_configs": len(configs),
-            "replicates": scale["replicates"],
-            "n_schedulers": len(_SCHEDULERS),
-            "n_records": len(serial),
-            "worker_count": workers,
-            "cpu_count": cpu_count,
-            "wall_clock_serial_s": round(serial_seconds, 3),
-            "wall_clock_sharded_s": round(sharded_seconds, 3),
-            "records_per_second_serial": round(len(serial) / serial_seconds, 2),
-            "records_per_second_sharded": round(len(sharded) / sharded_seconds, 2),
-            "speedup": round(speedup, 3),
-            "bit_identical": identical,
-            "speedup_gate_enforced": enforced,
-        },
-    )
+    payload = {
+        "n_configs": len(configs),
+        "replicates": scale["replicates"],
+        "n_schedulers": len(_SCHEDULERS),
+        "n_records": len(serial),
+        "worker_count": workers,
+        "cpu_count": cpu_count,
+        "wall_clock_serial_s": round(serial_seconds, 3),
+        "records_per_second_serial": round(len(serial) / serial_seconds, 2),
+        "bit_identical": identical,
+        "speedup_gate_enforced": enforced,
+    }
+    if enforced:
+        payload.update(
+            {
+                "status": "measured",
+                "wall_clock_sharded_s": round(sharded_seconds, 3),
+                "records_per_second_sharded": round(len(sharded) / sharded_seconds, 2),
+                "speedup": round(speedup, 3),
+            }
+        )
+    else:
+        # A starved runner (fewer CPUs than workers) time-slices the shards,
+        # so the measured "speedup" is really oversubscription overhead; a
+        # sub-1x number in the committed baseline reads as a sharding
+        # regression.  Record the run as explicitly skipped instead -- the
+        # bit-identity invariant above is still checked and persisted.
+        payload["status"] = "skipped (insufficient cpus)"
+    _update_artifact("sharded_speedup", payload)
 
     # The hard invariant holds on any machine: sharding may never change the
     # record set (timing measurements aside).

@@ -346,6 +346,17 @@ def _add_replanning_arguments(sub: argparse.ArgumentParser) -> None:
         "one-shot linprog path: the bit-stable escape hatch reproducing "
         "the historical campaign numbers exactly)",
     )
+    sub.add_argument(
+        "--speculate",
+        choices=("on", "off"),
+        default="off",
+        help="speculative replan pre-solves: during each inter-arrival gap "
+        "the on-line LP heuristics pre-solve the predicted next replan so "
+        "the arrival's LP work becomes a memo re-bind on correct "
+        "predictions; results are bit-identical either way (hits are "
+        "exact optima of the same LP, misses are discarded), only the "
+        "arrival-to-plan latency moves (default: off)",
+    )
 
 
 def _online_options(args: argparse.Namespace) -> dict[str, dict[str, object]]:
@@ -364,6 +375,7 @@ def _online_options(args: argparse.Namespace) -> dict[str, dict[str, object]]:
         replan_policy=args.replan_policy,
         incremental_lp=not args.from_scratch,
         solver_backend=args.solver_backend,
+        speculation=getattr(args, "speculate", "off") == "on",
     )
     return {
         key: options
@@ -469,6 +481,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         incremental_lp=not args.from_scratch,
         solver_backend=args.solver_backend,
         state_bank=args.state_bank == "on",
+        speculation=args.speculate == "on",
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
     computed = 0
@@ -679,6 +692,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
             replan_policy=args.replan_policy,
             incremental_lp=incremental,
             solver_backend=args.solver_backend,
+            speculation=args.speculate == "on",
             **kwargs,
         )
         for record in records:

@@ -71,6 +71,13 @@ class ExperimentConfig:
     worker count either way -- ``state_bank=False`` simply re-pays the
     cold solves and is kept as the escape hatch mirroring
     ``solver_backend="scipy"``.
+
+    ``speculation`` toggles the idle-gap speculative replan pre-solves of
+    :mod:`repro.lp.speculate` on the on-line LP heuristics.  Results are
+    bit-identical either way (hits re-bind exact optima of the same LP,
+    misses are discarded); the toggle only moves LP work out of the
+    arrival-to-plan latency path, so it defaults off like every other
+    non-paper accelerator axis.
     """
 
     name: str
@@ -85,6 +92,7 @@ class ExperimentConfig:
     incremental_lp: bool = True
     solver_backend: str = "auto"
     state_bank: bool = True
+    speculation: bool = False
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -143,6 +151,7 @@ class ExperimentConfig:
             # resident SolverStateBank (OnlineLPScheduler ignores non-bank
             # values, so other call sites are unaffected).
             options["state_bank"] = self.state_bank
+            options["speculate"] = self.speculation
         return options
 
     def as_dict(self) -> dict[str, float | int | str | bool | None]:
@@ -159,6 +168,7 @@ class ExperimentConfig:
             "incremental_lp": self.incremental_lp,
             "solver_backend": self.solver_backend,
             "state_bank": self.state_bank,
+            "speculation": self.speculation,
         }
 
 
@@ -175,6 +185,7 @@ def paper_configurations(
     incremental_lp: bool = True,
     solver_backend: str = "auto",
     state_bank: bool = True,
+    speculation: bool = False,
 ) -> list[ExperimentConfig]:
     """The full factorial design of Section 5.3 (162 configurations by default)."""
     configs: list[ExperimentConfig] = []
@@ -201,6 +212,7 @@ def paper_configurations(
                             incremental_lp=incremental_lp,
                             solver_backend=solver_backend,
                             state_bank=state_bank,
+                            speculation=speculation,
                         )
                     )
     return configs

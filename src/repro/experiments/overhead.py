@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
+from repro.lp.backends import LPProbeStats
 from repro.lp.bank import SolverStateBank
 from repro.schedulers.registry import make_scheduler
 from repro.simulation.engine import simulate
@@ -56,6 +57,9 @@ OVERHEAD_TABLE_HEADERS: tuple[str, ...] = (
     "basis reused",
     "bank hits",
     "primal reused",
+    "p50 replan (s)",
+    "p95 replan (s)",
+    "spec hit rate",
     "instances",
 )
 
@@ -72,6 +76,11 @@ class OverheadRecord:
     ``mean_primal_reused`` count warm lookups in the cross-run solver-state
     bank and whole LP solutions answered from a carried primal (both zero
     unless a bank is threaded in via ``state_bank=True``).
+    ``p50_replan_latency`` / ``p95_replan_latency`` are nearest-rank
+    percentiles of the per-replan wall-clock (arrival to refreshed plan),
+    pooled over the strategy's runs; ``speculation_hit_rate`` is the
+    fraction of consumed speculative pre-solves whose prediction matched
+    the live replan (0 with speculation off or for LP-free strategies).
     """
 
     scheduler: str
@@ -84,6 +93,9 @@ class OverheadRecord:
     mean_basis_reused: float = 0.0
     mean_bank_hits: float = 0.0
     mean_primal_reused: float = 0.0
+    p50_replan_latency: float = 0.0
+    p95_replan_latency: float = 0.0
+    speculation_hit_rate: float = 0.0
 
     def cells(self) -> list[object]:
         return [
@@ -96,6 +108,9 @@ class OverheadRecord:
             self.mean_basis_reused,
             self.mean_bank_hits,
             self.mean_primal_reused,
+            self.p50_replan_latency,
+            self.p95_replan_latency,
+            self.speculation_hit_rate,
             self.n_instances,
         ]
 
@@ -116,6 +131,7 @@ def scheduling_overhead(
     incremental_lp: bool = True,
     solver_backend: str = "scipy",
     state_bank: bool = False,
+    speculation: bool = False,
 ) -> list[OverheadRecord]:
     """Measure the scheduler-side wall-clock cost of each strategy.
 
@@ -152,6 +168,7 @@ def scheduling_overhead(
         replan_policy=replan_policy,
         incremental_lp=incremental_lp,
         solver_backend=solver_backend,
+        speculation=speculation,
     )
     times: dict[str, list[float]] = {key: [] for key in scheduler_keys}
     decisions: dict[str, list[int]] = {key: [] for key in scheduler_keys}
@@ -160,6 +177,9 @@ def scheduling_overhead(
     lp_reused: dict[str, list[int]] = {key: [] for key in scheduler_keys}
     bank_hits: dict[str, list[int]] = {key: [] for key in scheduler_keys}
     primal_reused: dict[str, list[int]] = {key: [] for key in scheduler_keys}
+    replan_latencies: dict[str, list[float]] = {key: [] for key in scheduler_keys}
+    spec_hits: dict[str, int] = {key: 0 for key in scheduler_keys}
+    spec_misses: dict[str, int] = {key: 0 for key in scheduler_keys}
     names: dict[str, str] = {}
     for replicate in range(replicates):
         seed = derive_seed(base_seed, "overhead", replicate)
@@ -185,11 +205,18 @@ def scheduling_overhead(
             lp_reused[key].append(result.lp_probes.n_basis_reused)
             bank_hits[key].append(result.lp_probes.n_bank_hits)
             primal_reused[key].append(result.lp_probes.n_primal_reuses)
+            replan_latencies[key].extend(result.lp_probes.replan_latencies)
+            spec_hits[key] += result.lp_probes.n_spec_hits
+            spec_misses[key] += result.lp_probes.n_spec_misses
 
     records: list[OverheadRecord] = []
     for key in scheduler_keys:
         if not times[key]:
             continue
+        # The percentile definition (nearest rank) lives on LPProbeStats;
+        # pooling the runs' latencies into one stats object reuses it.
+        pooled = LPProbeStats(replan_latencies=replan_latencies[key])
+        n_spec = spec_hits[key] + spec_misses[key]
         records.append(
             OverheadRecord(
                 scheduler=names[key],
@@ -202,6 +229,9 @@ def scheduling_overhead(
                 mean_basis_reused=float(np.mean(lp_reused[key])),
                 mean_bank_hits=float(np.mean(bank_hits[key])),
                 mean_primal_reused=float(np.mean(primal_reused[key])),
+                p50_replan_latency=pooled.replan_percentile(50),
+                p95_replan_latency=pooled.replan_percentile(95),
+                speculation_hit_rate=spec_hits[key] / n_spec if n_spec else 0.0,
             )
         )
     return records

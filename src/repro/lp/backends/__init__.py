@@ -26,7 +26,11 @@ from repro.lp.backends.base import (
     note_basis_reuse,
     note_certificate_skips,
     note_milestone_search,
+    note_phase_assembly,
+    note_phase_search,
     note_primal_reuse,
+    note_replan,
+    note_speculation,
     record_lp_probes,
 )
 from repro.lp.backends.highs import (
@@ -48,7 +52,11 @@ __all__ = [
     "note_basis_reuse",
     "note_certificate_skips",
     "note_milestone_search",
+    "note_phase_assembly",
+    "note_phase_search",
     "note_primal_reuse",
+    "note_replan",
+    "note_speculation",
     "ScipyBackend",
     "HighsPersistentBackend",
     "highs_available",

@@ -48,6 +48,10 @@ __all__ = [
     "note_milestone_search",
     "note_bank_lookup",
     "note_primal_reuse",
+    "note_phase_assembly",
+    "note_phase_search",
+    "note_replan",
+    "note_speculation",
 ]
 
 
@@ -277,6 +281,23 @@ class LPProbeStats:
     #: banked System (1)/(2) optimum for an exactly-matching problem
     #: signature, or the feasible-side shrink-only carry within a run.
     n_primal_reuses: int = 0
+    #: Wall-clock seconds spent assembling LPs before handing them to the
+    #: backend (interval structure + skeleton + COO blocks): the python-side
+    #: cost the compiled replan kernels of :mod:`repro.lp.kernels` attack.
+    assembly_seconds: float = 0.0
+    #: Wall-clock seconds inside whole milestone searches (bounds, milestone
+    #: enumeration, probe loop -- solves included).
+    search_seconds: float = 0.0
+    #: Per-replan wall-clock latencies (seconds), one entry per scheduler
+    #: replan in completion order; feeds the p50/p95 replan-latency columns
+    #: of the overhead tables and ``bench_overhead.py::bench_replan_latency``.
+    replan_latencies: list[float] = field(default_factory=list)
+    #: Speculative pre-solves consumed by a later replan with an exactly
+    #: matching problem signature (the replan became a rebind).
+    n_spec_hits: int = 0
+    #: Speculative pre-solves discarded because the predicted problem never
+    #: materialized (mispredictions -- results are unaffected by design).
+    n_spec_misses: int = 0
 
     @property
     def per_probe_seconds(self) -> float:
@@ -286,6 +307,24 @@ class LPProbeStats:
     def fraction_of(self, total_seconds: float) -> float:
         """LP-solve share of ``total_seconds`` (e.g. the scheduler wall-clock)."""
         return self.solve_seconds / total_seconds if total_seconds > 0 else 0.0
+
+    def replan_percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the replan latencies, in seconds.
+
+        Returns 0 when no replan was recorded.  Uses the nearest-rank
+        definition so the value is always an actually-observed latency.
+        """
+        if not self.replan_latencies:
+            return 0.0
+        ordered = sorted(self.replan_latencies)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    @property
+    def speculation_hit_rate(self) -> float:
+        """Consumed share of the speculative pre-solves (0 when none ran)."""
+        total = self.n_spec_hits + self.n_spec_misses
+        return self.n_spec_hits / total if total else 0.0
 
     def histogram(self) -> dict[str, int]:
         """The probe-count histogram: solved vs certificate-skipped vs basis-reused."""
@@ -297,6 +336,8 @@ class LPProbeStats:
             "bank_hits": self.n_bank_hits,
             "bank_misses": self.n_bank_misses,
             "primal_reuses": self.n_primal_reuses,
+            "spec_hits": self.n_spec_hits,
+            "spec_misses": self.n_spec_misses,
         }
 
 
@@ -347,6 +388,33 @@ def note_primal_reuse() -> None:
     """Record one whole LP solve replaced by a stored primal solution."""
     for stats in _ACTIVE_STATS:
         stats.n_primal_reuses += 1
+
+
+def note_phase_assembly(seconds: float) -> None:
+    """Record python-side LP assembly time (structure + skeleton + COO blocks)."""
+    for stats in _ACTIVE_STATS:
+        stats.assembly_seconds += seconds
+
+
+def note_phase_search(seconds: float) -> None:
+    """Record the wall-clock of one whole milestone search (solves included)."""
+    for stats in _ACTIVE_STATS:
+        stats.search_seconds += seconds
+
+
+def note_replan(seconds: float) -> None:
+    """Record the wall-clock latency of one scheduler replan."""
+    for stats in _ACTIVE_STATS:
+        stats.replan_latencies.append(seconds)
+
+
+def note_speculation(hit: bool) -> None:
+    """Record the fate of one speculative pre-solve (consumed or discarded)."""
+    for stats in _ACTIVE_STATS:
+        if hit:
+            stats.n_spec_hits += 1
+        else:
+            stats.n_spec_misses += 1
 
 
 @contextmanager

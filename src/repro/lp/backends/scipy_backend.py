@@ -55,13 +55,16 @@ class ScipyBackend(SolverBackend):
         c = np.asarray(spec.objective)
         bounds = list(zip(spec.lower, spec.upper))
         a_ub = b_ub = a_eq = b_eq = None
-        if spec.ub_rhs:
+        # Length checks, not truthiness: the builder may hand the RHS over
+        # as numpy arrays (kernel-assembled blocks), where truthiness is
+        # ambiguous.
+        if len(spec.ub_rhs):
             a_ub = sparse.coo_matrix(
                 (spec.ub_vals, (spec.ub_rows, spec.ub_cols)),
                 shape=(len(spec.ub_rhs), spec.n_vars),
             ).tocsr()
             b_ub = np.asarray(spec.ub_rhs)
-        if spec.eq_rhs:
+        if len(spec.eq_rhs):
             a_eq = sparse.coo_matrix(
                 (spec.eq_vals, (spec.eq_rows, spec.eq_cols)),
                 shape=(len(spec.eq_rhs), spec.n_vars),

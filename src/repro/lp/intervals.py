@@ -13,7 +13,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.errors import ModelError
+from repro.lp import kernels
 from repro.lp.problem import Affine, MaxStretchProblem
 
 __all__ = ["IntervalStructure", "build_interval_structure"]
@@ -81,40 +84,29 @@ def build_interval_structure(problem: MaxStretchProblem, probe: float) -> Interv
     if probe < 0:
         raise ModelError(f"probe objective must be non-negative, got {probe}")
 
-    # Collect distinct affine boundaries.
-    seen: dict[tuple[float, float], int] = {}
-    boundaries: list[Affine] = []
+    # The candidate boundaries are the job starts (constant affines) and the
+    # deadlines (slope = flow factor); the kernel dedups the distinct
+    # (const, coef) pairs and sorts them by value at the probe, ties broken
+    # by slope then offset so that the ordering is deterministic.
+    n = problem.n_jobs
+    starts, releases, factors = problem.job_vectors()
+    consts = np.concatenate([starts, releases])
+    coefs = np.concatenate([np.zeros(n, dtype=np.float64), factors])
+    b_consts, b_coefs = kernels.order_affine_boundaries(consts, coefs, probe)
 
-    def register(fn: Affine) -> int:
-        key = (fn.const, fn.coef)
-        if key not in seen:
-            seen[key] = len(boundaries)
-            boundaries.append(fn)
-        return seen[key]
-
-    start_key: dict[int, tuple[float, float]] = {}
-    deadline_key: dict[int, tuple[float, float]] = {}
-    for job in problem.jobs:
-        start = job.start_affine()
-        deadline = job.deadline_affine()
-        register(start)
-        register(deadline)
-        start_key[job.job_id] = (start.const, start.coef)
-        deadline_key[job.job_id] = (deadline.const, deadline.coef)
-
-    # Sort boundaries by value at the probe; ties broken by slope then offset
-    # so that the ordering is deterministic.
-    order = sorted(
-        range(len(boundaries)),
-        key=lambda i: (boundaries[i].at(probe), boundaries[i].coef, boundaries[i].const),
+    sorted_boundaries = tuple(
+        Affine(const, coef) for const, coef in zip(b_consts.tolist(), b_coefs.tolist())
     )
-    sorted_boundaries = tuple(boundaries[i] for i in order)
     index_of = {
         (fn.const, fn.coef): idx for idx, fn in enumerate(sorted_boundaries)
     }
 
-    job_start_index = {jid: index_of[key] for jid, key in start_key.items()}
-    job_deadline_index = {jid: index_of[key] for jid, key in deadline_key.items()}
+    job_start_index = {
+        job.job_id: index_of[(job.earliest_start, 0.0)] for job in problem.jobs
+    }
+    job_deadline_index = {
+        job.job_id: index_of[(job.release, job.flow_factor)] for job in problem.jobs
+    }
 
     return IntervalStructure(
         boundaries=sorted_boundaries,

@@ -37,17 +37,21 @@ from __future__ import annotations
 
 import bisect
 import math
+import time
 from dataclasses import dataclass
 from typing import Mapping, MutableMapping, Sequence
 
 import numpy as np
 
 from repro.core.errors import InfeasibleError
+from repro.lp import kernels
 from repro.lp.backends import (
     SolverBackend,
     WarmStartHint,
     note_certificate_skips,
     note_milestone_search,
+    note_phase_assembly,
+    note_phase_search,
 )
 from repro.lp.intervals import IntervalStructure, build_interval_structure
 from repro.lp.milestones import enumerate_milestones
@@ -476,21 +480,21 @@ def _assemble_constraints(
     """
     arrays = _assembly_arrays(skeleton)
     speeds = problem.resource_speeds()[arrays.cap_c]
-    x_vals = np.ones(arrays.cap_entry_cols.size, dtype=np.float64)
     if f_var is not None:
-        f_coefs = -(speeds * arrays.cap_len_coef)
-        nonzero = np.nonzero(f_coefs)[0]
-        rows = np.concatenate([arrays.cap_entry_rows, nonzero])
-        cols = np.concatenate(
-            [arrays.cap_entry_cols + offset, np.full(nonzero.size, f_var, dtype=np.int64)]
+        rows, cols, vals, rhs = kernels.scatter_capacity_sys1(
+            arrays.cap_entry_rows,
+            arrays.cap_entry_cols,
+            arrays.cap_len_const,
+            arrays.cap_len_coef,
+            speeds,
+            offset,
+            f_var,
         )
-        vals = np.concatenate([x_vals, f_coefs[nonzero]])
-        rhs = speeds * arrays.cap_len_const
     else:
         assert objective_value is not None
         rows = arrays.cap_entry_rows
         cols = arrays.cap_entry_cols + offset
-        vals = x_vals
+        vals = np.ones(arrays.cap_entry_cols.size, dtype=np.float64)
         rhs = speeds * np.maximum(
             0.0, arrays.cap_len_const + arrays.cap_len_coef * objective_value
         )
@@ -656,10 +660,12 @@ def solve_on_objective_range(
     if f_high < f_low:
         raise ValueError(f"invalid objective range [{f_low}, {f_high}]")
 
+    assembly_start = time.perf_counter()
     probe = _probe_value(f_low, f_high)
     structure = build_interval_structure(problem, probe)
     skeleton = build_skeleton(problem, structure, skeleton_cache)
     if skeleton is None:
+        note_phase_assembly(time.perf_counter() - assembly_start)
         return None
 
     builder = LinearProgramBuilder()
@@ -673,6 +679,7 @@ def solve_on_objective_range(
     if backend is not None and backend.persistent:
         key = model_key(problem, skeleton, "sys1")
         warm = warm_hint(problem, skeleton, with_objective_var=True)
+    note_phase_assembly(time.perf_counter() - assembly_start)
     result = builder.solve(backend=backend, key=key, warm=warm)
     if not result.feasible:
         if outcome is not None and result.dual_ray is not None:
@@ -759,6 +766,7 @@ def minimize_max_weighted_flow(
     if not problem.jobs:
         return solve_on_objective_range(problem, 0.0, 0.0)  # type: ignore[return-value]
 
+    search_start = time.perf_counter()
     f_lb = problem.objective_lower_bound()
     f_ub = problem.objective_upper_bound()
     milestones = enumerate_milestones(problem, lower=f_lb, upper=f_ub)
@@ -798,6 +806,7 @@ def minimize_max_weighted_flow(
                 "no feasible schedule found for the max weighted flow problem"
             )
         best = widened
+    note_phase_search(time.perf_counter() - search_start)
     return best
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.lp import kernels
 from repro.lp.problem import MaxStretchProblem
 
 __all__ = ["enumerate_milestones"]
@@ -44,9 +45,7 @@ def enumerate_milestones(
     if n == 0:
         return []
 
-    releases = np.array([j.release for j in jobs], dtype=float)
-    factors = np.array([j.flow_factor for j in jobs], dtype=float)
-    starts = np.array([j.earliest_start for j in jobs], dtype=float)
+    starts, releases, factors = problem.job_vectors()
 
     candidates: list[np.ndarray] = []
 
@@ -72,8 +71,4 @@ def enumerate_milestones(
     values = np.unique(values)
     # Merge near-duplicates (within relative tol) to keep the boundary list
     # short and to avoid zero-length binary-search intervals.
-    merged: list[float] = [float(values[0])]
-    for v in values[1:]:
-        if abs(v - merged[-1]) > tol * max(1.0, abs(v)):
-            merged.append(float(v))
-    return merged
+    return kernels.merge_close_milestones(values, tol)

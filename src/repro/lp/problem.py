@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.core.errors import ModelError
 from repro.core.instance import Instance
+from repro.lp import kernels
 
 __all__ = [
     "Affine",
@@ -263,8 +264,13 @@ class MaxStretchProblem:
         # Guard against degenerate single-job cases where lower == upper.
         return max(bound, self.objective_lower_bound())
 
-    def _job_vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cached (earliest_start, release, flow_factor) arrays in job order."""
+    def job_vectors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached (earliest_start, release, flow_factor) arrays in job order.
+
+        On the replan fast path these are seeded directly by the
+        :func:`repro.lp.kernels.active_jobs_delta` kernel instead of being
+        rebuilt from the job dataclasses.
+        """
         vectors = self.__dict__.get("_job_vectors_cache")
         if vectors is None:
             n = len(self.jobs)
@@ -275,6 +281,9 @@ class MaxStretchProblem:
             )
             object.__setattr__(self, "_job_vectors_cache", vectors)
         return vectors
+
+    # Backwards-compatible private alias (pre-kernel name).
+    _job_vectors = job_vectors
 
 
 def build_resources(instance: Instance) -> tuple[Resource, ...]:
@@ -320,6 +329,25 @@ class JobTable:
 
     rows: tuple[tuple[int, float, float, float, tuple[int, ...]], ...]
 
+    def arrays(self) -> tuple[list[int], np.ndarray, np.ndarray, tuple[tuple[int, ...], ...]]:
+        """Cached column views of the table for the replan delta kernel.
+
+        Returns ``(job ids, releases, flow factors, eligibility tuples)``;
+        the float columns are float64 arrays ready for
+        :func:`repro.lp.kernels.active_jobs_delta`.
+        """
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            n = len(self.rows)
+            cached = (
+                [row[0] for row in self.rows],
+                np.fromiter((row[1] for row in self.rows), dtype=np.float64, count=n),
+                np.fromiter((row[3] for row in self.rows), dtype=np.float64, count=n),
+                tuple(row[4] for row in self.rows),
+            )
+            object.__setattr__(self, "_arrays", cached)
+        return cached
+
 
 def build_job_table(
     instance: Instance,
@@ -355,22 +383,33 @@ def _problem_from_job_table(
     remaining: Mapping[int, float],
 ) -> MaxStretchProblem:
     """The replan-shaped fast path: active jobs only, invariants from the table."""
-    lp_jobs: list[LPJob] = []
-    for job_id, release, size, factor, eligible in table.rows:
-        rem = remaining.get(job_id)
-        if rem is None or rem <= 0:
-            continue
-        lp_jobs.append(
-            LPJob(
-                job_id=job_id,
-                earliest_start=release if now is None else max(release, now),
-                remaining_work=float(rem),
-                release=release,
-                flow_factor=factor,
-                resources=eligible,
-            )
+    ids, releases, factors, eligibles = table.arrays()
+    rem = np.fromiter(
+        ((remaining.get(job_id) or 0.0) for job_id in ids),
+        dtype=np.float64,
+        count=len(ids),
+    )
+    idx, earliest, works, rel_active, fac_active = kernels.active_jobs_delta(
+        releases, factors, rem, now
+    )
+    lp_jobs = tuple(
+        LPJob(
+            job_id=ids[i],
+            earliest_start=float(earliest[k]),
+            remaining_work=float(works[k]),
+            release=float(rel_active[k]),
+            flow_factor=float(fac_active[k]),
+            resources=eligibles[i],
         )
-    return MaxStretchProblem(resources=resources, jobs=tuple(lp_jobs))
+        for k, i in enumerate(idx.tolist())
+    )
+    problem = MaxStretchProblem(resources=resources, jobs=lp_jobs)
+    # The delta kernel already materialized the per-job float columns; seed
+    # the problem's lazy caches so the milestone/bound consumers skip their
+    # per-job python loops entirely.
+    object.__setattr__(problem, "_works", works)
+    object.__setattr__(problem, "_job_vectors_cache", (earliest, rel_active, fac_active))
+    return problem
 
 
 def problem_from_instance(

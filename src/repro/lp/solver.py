@@ -52,11 +52,15 @@ class LinearProgramBuilder:
         self._ub_rows: list[int] = []
         self._ub_cols: list[int] = []
         self._ub_vals: list[float] = []
-        self._ub_rhs: list[float] = []
         self._eq_rows: list[int] = []
         self._eq_cols: list[int] = []
         self._eq_vals: list[float] = []
-        self._eq_rhs: list[float] = []
+        # Right-hand sides in row order, as alternating parts: mutable
+        # list-of-float tails fed by the scalar methods and float64 block
+        # arrays appended as-is (no per-row tolist round trip); spec()
+        # splices them.
+        self._ub_rhs_parts: list["list[float] | np.ndarray"] = []
+        self._eq_rhs_parts: list["list[float] | np.ndarray"] = []
         self._n_ub_rows = 0
         self._n_eq_rows = 0
         self._ub_chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
@@ -128,7 +132,7 @@ class LinearProgramBuilder:
                 self._ub_rows.append(row)
                 self._ub_cols.append(idx)
                 self._ub_vals.append(float(coef))
-        self._ub_rhs.append(float(rhs))
+        self._append_rhs_scalar(self._ub_rhs_parts, rhs)
         self._n_ub_rows += 1
         return row
 
@@ -141,7 +145,7 @@ class LinearProgramBuilder:
                 self._eq_rows.append(row)
                 self._eq_cols.append(idx)
                 self._eq_vals.append(float(coef))
-        self._eq_rhs.append(float(rhs))
+        self._append_rhs_scalar(self._eq_rhs_parts, rhs)
         self._n_eq_rows += 1
         return row
 
@@ -155,23 +159,31 @@ class LinearProgramBuilder:
         filtered out by the caller (the skeleton caches do), matching the
         scalar path's sparsity.  Column indices are range-checked as a block.
         """
-        first = self._append_block(
-            self._ub_chunks, self._ub_rhs, self._n_ub_rows, rows, cols, vals, rhs
+        first, n_rows = self._append_block(
+            self._ub_chunks, self._ub_rhs_parts, self._n_ub_rows, rows, cols, vals, rhs
         )
-        self._n_ub_rows = len(self._ub_rhs)
+        self._n_ub_rows += n_rows
         return first
 
     def add_eq_block(
         self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray, rhs: np.ndarray
     ) -> int:
         """Append ``len(rhs)`` equality rows from COO arrays; returns the first row index."""
-        first = self._append_block(
-            self._eq_chunks, self._eq_rhs, self._n_eq_rows, rows, cols, vals, rhs
+        first, n_rows = self._append_block(
+            self._eq_chunks, self._eq_rhs_parts, self._n_eq_rows, rows, cols, vals, rhs
         )
-        self._n_eq_rows = len(self._eq_rhs)
+        self._n_eq_rows += n_rows
         return first
 
-    def _append_block(self, chunks, rhs_list, first, rows, cols, vals, rhs) -> int:
+    @staticmethod
+    def _append_rhs_scalar(parts: "list[list[float] | np.ndarray]", rhs: float) -> None:
+        tail = parts[-1] if parts and isinstance(parts[-1], list) else None
+        if tail is None:
+            tail = []
+            parts.append(tail)
+        tail.append(float(rhs))
+
+    def _append_block(self, chunks, rhs_parts, first, rows, cols, vals, rhs) -> tuple[int, int]:
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
         vals = np.asarray(vals, dtype=np.float64)
@@ -183,10 +195,11 @@ class LinearProgramBuilder:
         if rows.size and (rows.min() < 0 or rows.max() >= rhs.size):
             raise SolverError("COO block row indices exceed the block's row count")
         chunks.append((rows + first, cols, vals))
-        # The RHS stays in the positional per-row list (shared with the
-        # scalar path), so the two modes may interleave freely.
-        rhs_list.extend(rhs.tolist())
-        return first
+        # The RHS array is kept whole, in row order with the scalar tails,
+        # so the two modes may interleave freely without a per-row round
+        # trip through python floats.
+        rhs_parts.append(rhs)
+        return first, int(rhs.size)
 
     def _check_var(self, idx: int) -> None:
         if not (0 <= idx < self._n_vars):
@@ -201,6 +214,15 @@ class LinearProgramBuilder:
         parts = [np.asarray(scalars, dtype=dtype)] if scalars else []
         parts.extend(chunk[pick] for chunk in chunks)
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    @staticmethod
+    def _merge_rhs(parts: "list[list[float] | np.ndarray]") -> "Sequence[float]":
+        """Splice the RHS parts (scalar tails + block arrays) in row order."""
+        if not parts:
+            return []
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate([np.asarray(p, dtype=np.float64) for p in parts])
 
     def spec(self) -> LPSpec:
         """A read-only view of the accumulated program for a solver backend.
@@ -218,11 +240,11 @@ class LinearProgramBuilder:
             ub_rows=self._merge(self._ub_rows, self._ub_chunks, 0, np.int64),
             ub_cols=self._merge(self._ub_cols, self._ub_chunks, 1, np.int64),
             ub_vals=self._merge(self._ub_vals, self._ub_chunks, 2, np.float64),
-            ub_rhs=self._ub_rhs,
+            ub_rhs=self._merge_rhs(self._ub_rhs_parts),
             eq_rows=self._merge(self._eq_rows, self._eq_chunks, 0, np.int64),
             eq_cols=self._merge(self._eq_cols, self._eq_chunks, 1, np.int64),
             eq_vals=self._merge(self._eq_vals, self._eq_chunks, 2, np.float64),
-            eq_rhs=self._eq_rhs,
+            eq_rhs=self._merge_rhs(self._eq_rhs_parts),
         )
 
     def solve(

@@ -1,0 +1,122 @@
+"""Event-horizon projection for speculative replan pre-solves.
+
+Between two scheduler events the fluid engine's dynamics are closed-form:
+every machine of the current assignment works on its mapped job at its own
+speed, so the remaining works at the next arrival date -- and therefore the
+exact LP problem the next replan will build -- are known *before* simulated
+time gets there.  :func:`predict_replan_remaining` reproduces that jump:
+given the state at the start of the gap's final step and the assignment the
+engine is executing, it returns the ``remaining`` map the scheduler will
+read at ``until``, bit-for-bit equal to what
+:meth:`~repro.simulation.state.SchedulerState.remaining_map` returns after
+the engine advances (same numpy elementwise update, same completion
+tolerance, same arrival injection as the event queue).
+
+The LP heuristics use this inside :meth:`Scheduler.on_idle` to pre-solve
+the next replan's System (1) (and optionally System (2)) during the gap,
+memoized under the problem's exact content signature.  Because the
+projection replicates the engine's arithmetic exactly, a correct prediction
+hits on signature equality and the pre-solved optimum *is* the solution the
+replan would have computed; a misprediction (deferred-replan policies,
+intervening completion-triggered replans) simply misses and is discarded.
+Speculation is therefore an accelerator with no observable effect on
+schedules.
+
+Only the projection lives here; the memo and its hit/miss protocol are on
+:class:`~repro.lp.incremental.ReplanContext`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.simulation.clock import SIMULTANEITY_TOL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+    from repro.simulation.state import SchedulerState
+
+__all__ = ["predict_replan_remaining", "pending_arrivals"]
+
+#: Relative tolerance under which a job's remaining work counts as zero.
+#: Mirrors ``repro.simulation.engine._COMPLETION_TOL`` (asserted equal by
+#: ``tests/test_speculation.py``); duplicated to keep this module free of an
+#: engine import.
+_COMPLETION_TOL = 1e-9
+
+
+def pending_arrivals(
+    state: "SchedulerState", until: float, *, tol: float = SIMULTANEITY_TOL
+) -> "list[Job]":
+    """The jobs the event queue will release by ``until`` (inclusive).
+
+    The engine's queue holds exactly the not-yet-released arrivals and pops
+    everything due within :data:`SIMULTANEITY_TOL` of the current time, so
+    the prediction is the instance's unreleased jobs with
+    ``release <= until + tol`` (in instance order, like the queue's batch).
+    """
+    return [
+        job
+        for job in state.instance.jobs
+        if job.job_id not in state.released_ids and job.release <= until + tol
+    ]
+
+
+def predict_replan_remaining(
+    state: "SchedulerState",
+    mapping: Mapping[int, int],
+    until: float,
+) -> "dict[int, float] | None":
+    """The ``remaining`` map a replan at ``until`` will receive, or ``None``.
+
+    ``mapping`` is the machine->job assignment the engine executes over
+    ``[state.time, until]`` (the gap's final step).  The projection mirrors
+    the engine step by step:
+
+    1. accumulate per-job rates in ``mapping`` iteration order (identical
+       float summation order),
+    2. advance the rated jobs with the same vectorized
+       ``max(0, remaining - rate * duration)`` update and per-job ``float``
+       writeback,
+    3. drop jobs meeting the engine's completion tolerance,
+    4. inject the arrivals due at ``until`` at their full size.
+
+    Returns ``None`` when no arrival lands at ``until`` (nothing to replan
+    for, so speculation would be wasted work).
+    """
+    arrivals = pending_arrivals(state, until)
+    if not arrivals:
+        return None
+    instance = state.instance
+    duration = until - state.time
+
+    # Engine step 4: per-job processing rates, in mapping order.
+    rates: dict[int, float] = {}
+    for machine_id, job_id in mapping.items():
+        speed = instance.machine(machine_id).speed
+        rates[job_id] = rates.get(job_id, 0.0) + speed
+
+    projected = state.remaining_map()
+    if rates:
+        job_ids = list(rates)
+        n = len(job_ids)
+        rate = np.fromiter((rates[j] for j in job_ids), dtype=np.float64, count=n)
+        remaining = np.fromiter(
+            (state.active[j].remaining for j in job_ids), dtype=np.float64, count=n
+        )
+        new_remaining = np.maximum(0.0, remaining - rate * duration)
+        for job_id, value in zip(job_ids, new_remaining):
+            projected[job_id] = float(value)
+
+    # Engine step 7: completed jobs leave the active set before the replan.
+    for job_id in list(projected):
+        size = state.active[job_id].job.size
+        if projected[job_id] <= _COMPLETION_TOL * max(1.0, size):
+            del projected[job_id]
+
+    # Arrival injection: released at full size before the replan callback.
+    for job in arrivals:
+        projected[job.job_id] = job.size
+    return projected

@@ -40,6 +40,7 @@ Two orthogonal knobs refine the hot path without changing the defaults:
 from __future__ import annotations
 
 import math
+import time as _time
 from typing import Literal, Sequence
 
 from repro.core.instance import Instance
@@ -49,12 +50,13 @@ from repro.lp.aggregation import (
     materialize_solution,
     swrpt_terminal_order,
 )
-from repro.lp.backends import SolverBackend, make_backend
+from repro.lp.backends import SolverBackend, make_backend, note_replan
 from repro.lp.bank import SolverStateBank
 from repro.lp.incremental import ReplanContext
 from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
 from repro.lp.relaxation import reoptimize_allocation
+from repro.lp.speculate import predict_replan_remaining
 from repro.simulation.state import Assignment, SchedulerState
 from repro.schedulers.base import PlanBasedScheduler, PlanSegment
 from repro.schedulers.policies import OnArrivalPolicy, ReplanPolicy, parse_policy
@@ -100,6 +102,15 @@ class OnlineLPScheduler(PlanBasedScheduler):
         booleans of :attr:`ExperimentConfig.state_bank`, which only the
         campaign runner translates into a live bank -- is treated as "no
         bank", so direct ``simulate()`` and CLI paths stay bank-less.
+    speculate:
+        When True, the engine's once-per-gap :meth:`on_idle` callback
+        pre-solves the *predicted* next replan (the event-horizon projection
+        of :mod:`repro.lp.speculate`) so an exact prediction turns the
+        arrival's LP work into a memo re-bind.  Bit-identical schedules by
+        construction -- hits are exact optima of the signed problem, misses
+        are discarded -- and a no-op without ``incremental`` or on the
+        persistent HiGHS backend (see :meth:`ReplanContext.speculate`).
+        Default off (the paper's heuristics have no such look-ahead).
     """
 
     def __init__(
@@ -110,6 +121,7 @@ class OnlineLPScheduler(PlanBasedScheduler):
         incremental: bool = True,
         solver_backend: "str | SolverBackend | None" = None,
         state_bank: "SolverStateBank | object | None" = None,
+        speculate: bool = False,
     ):
         super().__init__(policy=parse_policy(policy))
         if variant not in _VARIANT_NAMES:
@@ -121,6 +133,7 @@ class OnlineLPScheduler(PlanBasedScheduler):
             # in result tables without renaming the paper-faithful default.
             self.name = f"{self.name} [{self.policy.describe()}]"
         self.incremental = incremental
+        self.speculate = bool(speculate)
         self.solver_backend = solver_backend
         self.state_bank: SolverStateBank | None = (
             state_bank if isinstance(state_bank, SolverStateBank) else None
@@ -164,7 +177,37 @@ class OnlineLPScheduler(PlanBasedScheduler):
         if self._context is not None:
             self._context.publish()
 
+    def on_idle(self, state: SchedulerState, until: float) -> None:
+        """Speculatively pre-solve the replan predicted at ``until``.
+
+        The engine fires this exactly once per inter-event gap, from the
+        step that runs uninterrupted into the next arrival; the event-horizon
+        projection of :mod:`repro.lp.speculate` therefore reproduces the
+        replan's remaining-work map exactly whenever the arrival does
+        trigger a replan (the on-arrival default).  Deferring policies and
+        completion-triggered replans make the prediction miss, which
+        discards the memo -- never changing results either way.
+        """
+        if not self.speculate or self._context is None:
+            return
+        remaining = predict_replan_remaining(
+            state, self.plan_assignment(state).mapping, until
+        )
+        if not remaining:
+            return
+        problem = self._context.build_problem(until, remaining)
+        self._context.speculate(
+            problem, with_reoptimize=self.variant != "online-nonopt"
+        )
+
     def replan(self, state: SchedulerState) -> None:
+        start = _time.perf_counter()
+        try:
+            self._replan(state)
+        finally:
+            note_replan(_time.perf_counter() - start)
+
+    def _replan(self, state: SchedulerState) -> None:
         instance = state.instance
         now = state.time
         remaining = state.remaining_map()

@@ -347,7 +347,12 @@ class TestProbeHistogram:
             "bank_hits",
             "bank_misses",
             "primal_reuses",
+            "spec_hits",
+            "spec_misses",
         }
+        # The new per-phase timing split is live alongside the counters.
+        assert stats.assembly_seconds > 0.0
+        assert stats.search_seconds >= stats.assembly_seconds
 
     @requires_highs
     def test_certificate_search_solves_fewer_lps(self):

@@ -1,0 +1,164 @@
+"""Cross-tier bit-equality of the compiled replan kernels (:mod:`repro.lp.kernels`).
+
+Every kernel in :data:`~repro.lp.kernels.KERNEL_NAMES` is checked against
+the ``legacy`` tier (the pre-kernel pure python, kept verbatim) on
+randomized inputs, in every importable tier -- ``numpy`` always, ``numba``
+on the CI jit leg.  Equality is exact (``==`` on every element), matching
+the module's bit-identity contract.  A second group checks the contract at
+the integration level: whole-run S* trajectories and completions are
+identical under every tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import kernels
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+#: Tiers equality-tested against the legacy reference.
+CANDIDATE_TIERS = [t for t in kernels.available_tiers() if t != "legacy"]
+
+#: Randomized trials per kernel and tier.
+N_TRIALS = 25
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _case_merge_close_milestones(rng):
+    n = int(rng.integers(1, 40))
+    values = np.sort(rng.uniform(0.0, 50.0, size=n))
+    # Inject near-duplicate clusters so the merge path actually fires.
+    if n > 3 and rng.random() < 0.7:
+        dup = values[rng.integers(0, n, size=max(1, n // 4))]
+        jitter = dup * (1.0 + rng.uniform(-1e-13, 1e-13, size=dup.size))
+        values = np.sort(np.concatenate([values, dup, jitter]))
+    tol = float(rng.choice([1e-12, 1e-9, 1e-6]))
+    return (values, tol)
+
+
+def _case_order_affine_boundaries(rng):
+    n = int(rng.integers(0, 30))
+    consts = rng.uniform(0.0, 20.0, size=n)
+    coefs = rng.uniform(0.0, 5.0, size=n)
+    if n > 2:
+        # Exact duplicate pairs and probe-value ties exercise the dedup and
+        # the tie-breaking components of the sort key.
+        take = rng.integers(0, n, size=n // 2)
+        consts = np.concatenate([consts, consts[take]])
+        coefs = np.concatenate([coefs, coefs[take]])
+    probe = float(rng.uniform(0.5, 10.0))
+    return (consts, coefs, probe)
+
+
+def _case_active_jobs_delta(rng):
+    n = int(rng.integers(1, 50))
+    releases = np.sort(rng.uniform(0.0, 30.0, size=n))
+    factors = rng.uniform(0.1, 4.0, size=n)
+    rem = rng.uniform(0.0, 10.0, size=n)
+    rem[rng.random(size=n) < 0.4] = 0.0  # completed jobs drop out
+    now = float(rng.uniform(0.0, 30.0))
+    has_now = bool(rng.random() < 0.8)
+    return (releases, factors, rem, now, has_now)
+
+
+def _case_scatter_capacity_sys1(rng):
+    n_rows = int(rng.integers(1, 12))
+    n_entries = int(rng.integers(0, 60))
+    entry_rows = rng.integers(0, n_rows, size=n_entries).astype(np.int64)
+    entry_cols = rng.integers(0, 80, size=n_entries).astype(np.int64)
+    len_const = rng.uniform(0.0, 5.0, size=n_rows)
+    len_coef = rng.uniform(0.0, 2.0, size=n_rows)
+    len_coef[rng.random(size=n_rows) < 0.3] = 0.0  # fixed-length intervals
+    speeds = rng.uniform(0.5, 8.0, size=n_rows)
+    offset = int(rng.integers(0, 10))
+    f_var = int(rng.integers(100, 200))
+    return (entry_rows, entry_cols, len_const, len_coef, speeds, offset, f_var)
+
+
+_CASE_BUILDERS = {
+    "merge_close_milestones": _case_merge_close_milestones,
+    "order_affine_boundaries": _case_order_affine_boundaries,
+    "active_jobs_delta": _case_active_jobs_delta,
+    "scatter_capacity_sys1": _case_scatter_capacity_sys1,
+}
+
+
+def _assert_bit_equal(actual, expected):
+    if isinstance(expected, tuple):
+        assert isinstance(actual, tuple) and len(actual) == len(expected)
+        for a, e in zip(actual, expected):
+            _assert_bit_equal(a, e)
+    elif isinstance(expected, np.ndarray):
+        assert np.asarray(actual).shape == expected.shape
+        assert np.array_equal(np.asarray(actual), expected)
+    else:
+        assert actual == expected
+
+
+def test_every_kernel_has_a_case_builder():
+    # A new kernel cannot land without its cross-tier equality coverage.
+    assert set(_CASE_BUILDERS) == set(kernels.KERNEL_NAMES)
+
+
+@pytest.mark.parametrize("tier", CANDIDATE_TIERS)
+@pytest.mark.parametrize("name", kernels.KERNEL_NAMES)
+def test_kernel_bit_equal_to_legacy(name, tier):
+    reference = kernels.kernel(name, "legacy")
+    candidate = kernels.kernel(name, tier)
+    for trial in range(N_TRIALS):
+        seed = 1000 * trial + kernels.KERNEL_NAMES.index(name)
+        args = _CASE_BUILDERS[name](_rng(seed))
+        _assert_bit_equal(candidate(*args), reference(*args))
+
+
+class TestTierDispatch:
+    def test_default_tier_matches_numba_availability(self):
+        expected = "numba" if kernels.HAVE_NUMBA else "numpy"
+        assert kernels._default_tier() == expected
+
+    def test_set_active_tier_round_trips(self):
+        initial = kernels.active_tier()
+        previous = kernels.set_active_tier("legacy")
+        try:
+            assert previous == initial
+            assert kernels.active_tier() == "legacy"
+        finally:
+            kernels.set_active_tier(initial)
+        assert kernels.active_tier() == initial
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            kernels.set_active_tier("fortran")
+
+    def test_numba_tier_listed_only_when_importable(self):
+        assert ("numba" in kernels.available_tiers()) == kernels.HAVE_NUMBA
+
+
+@pytest.mark.parametrize("tier", CANDIDATE_TIERS)
+def test_whole_run_bit_identical_across_tiers(tier):
+    platform_spec = PlatformSpec(
+        n_clusters=2, processors_per_cluster=4, n_databanks=2, availability=0.6
+    )
+    workload_spec = WorkloadSpec(density=2.0, window=25.0, max_jobs=12)
+    instance = generate_instance(platform_spec, workload_spec, rng=21)
+
+    def run():
+        scheduler = make_scheduler("online")
+        result = simulate(instance, scheduler)
+        return scheduler.last_objective, result.completions
+
+    initial = kernels.set_active_tier("legacy")
+    try:
+        reference = run()
+        kernels.set_active_tier(tier)
+        candidate = run()
+    finally:
+        kernels.set_active_tier(initial)
+    assert candidate[0] == reference[0]
+    assert candidate[1] == reference[1]

@@ -19,7 +19,7 @@ import pytest
 from repro.experiments.ab import compare_record_sets
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.io import CampaignCheckpoint
-from repro.experiments.overhead import scheduling_overhead
+from repro.experiments.overhead import OVERHEAD_TABLE_HEADERS, scheduling_overhead
 from repro.experiments.runner import (
     ExperimentResults,
     _lane_assignments,
@@ -444,4 +444,4 @@ class TestOverheadColumns:
         by_name = {r.scheduler: r for r in warm}
         assert by_name["Online-EDF"].mean_bank_hits == 1.0
         assert by_name["Online-EDF"].mean_primal_reused > 0
-        assert len(warm[0].cells()) == 10
+        assert len(warm[0].cells()) == len(OVERHEAD_TABLE_HEADERS)
