@@ -26,13 +26,21 @@ transparent on scipy, and the sharded bank-on/off comparison on the
 default backend must pass the same two-tier tolerance gate as the backend
 A/B.
 
-A fourth measurement covers the distribution layer: merging N shard
+A fourth gate covers the group-batched dispatch of PR 8
+(:func:`bench_campaign_throughput`): on a heuristic-heavy mini-campaign
+(tiny per-task compute, so dispatch/transport overhead dominates) the
+grouped 4-worker run must reach >= 2x the serial records/sec whenever the
+machine has the CPUs, with the per-task-dispatch leg recorded alongside so
+the dispatch win itself is tracked; record sets must be bit-identical
+across all legs on every machine.
+
+A fifth measurement covers the distribution layer: merging N shard
 journals of a paper-shaped design (162 configurations x 10 schedulers)
 back into one validated record set must stay cheap relative to computing
 the records -- the merge job is the serial tail of every sharded CI
 campaign, so its records/sec throughput is tracked alongside.
 
-All four write into ``benchmarks/_artifacts/BENCH_campaign.json``
+All five write into ``benchmarks/_artifacts/BENCH_campaign.json``
 (uploaded by CI) so the campaign throughput trajectory -- wall-clock,
 records/sec, worker count, merge rate -- is tracked across PRs.
 """
@@ -352,6 +360,134 @@ def bench_state_bank_reuse(benchmark):
     )
     assert report.equivalent, (
         f"bank-on/off A/B gate failed:\n{report.render()}"
+    )
+
+
+#: Schedulers of the throughput mini-campaign: heuristic-only (no LP), so
+#: per-task compute is tiny and dispatch/transport overhead dominates -- the
+#: regime the group-batched dispatch is built for.
+_HEURISTIC_SCHEDULERS = (
+    "fcfs", "srpt", "spt", "swpt", "swrpt", "mct", "mct-div", "bender02",
+)
+
+
+def bench_campaign_throughput(benchmark):
+    """End-to-end records/sec: serial vs group-batched dispatch at 4 workers.
+
+    A heuristic-heavy mini-campaign (cheap per-task compute, many tasks)
+    run three ways:
+
+    * serially (the single-process baseline; compute per record is
+      unchanged since PR 7, so this doubles as the PR-7 throughput
+      reference),
+    * at ``REPRO_BENCH_WORKERS`` workers with the historical per-task
+      dispatch (``dispatch="task"`` -- one pool round-trip per record),
+    * at the same worker count with group-batched dispatch (one round-trip,
+      one packed payload per (configuration, replicate) group -- the PR-8
+      default).
+
+    Bit-identity across all three legs is asserted on every machine.  The
+    >= 2x grouped-vs-serial records/sec gate is enforced whenever the
+    machine actually has the CPUs; on starved runners the measurement is
+    recorded as explicitly skipped (a time-sliced "speedup" would read as a
+    throughput regression in the committed baseline).  The per-task leg is
+    recorded alongside so the dispatch win itself (grouped vs per-task at
+    equal parallelism) is tracked across PRs.
+    """
+    scale = _scale()
+    # 8 replicates x 3 configs = 24 (config, replicate) groups: divisible by
+    # the default 4 lanes, so the grouped leg is load-balanced and the >= 2x
+    # gate is not fighting a straggler lane.
+    replicates = int(
+        os.environ.get("REPRO_BENCH_THROUGHPUT_REPLICATES", "8")
+    )
+    throughput_scale = {
+        "window": float(os.environ.get("REPRO_BENCH_THROUGHPUT_WINDOW", "20")),
+        "max_jobs": int(os.environ.get("REPRO_BENCH_THROUGHPUT_MAX_JOBS", "10")),
+    }
+    configs = _mini_campaign(throughput_scale)
+    workers = int(scale["workers"])
+
+    def run(n_workers: int, dispatch: str):
+        start = time.perf_counter()
+        results = run_campaign(
+            configs,
+            scheduler_keys=_HEURISTIC_SCHEDULERS,
+            replicates=replicates,
+            base_seed=2006,
+            n_workers=n_workers,
+            dispatch=dispatch,
+        )
+        return results, time.perf_counter() - start
+
+    serial, serial_seconds = benchmark.pedantic(
+        lambda: run(1, "group"), rounds=1, iterations=1
+    )
+    per_task, per_task_seconds = run(workers, "task")
+    grouped, grouped_seconds = run(workers, "group")
+
+    reference = serial.result_set()
+    identical = (
+        per_task.result_set() == reference
+        and grouped.result_set() == reference
+    )
+    n_records = len(serial)
+    serial_rps = n_records / serial_seconds if serial_seconds > 0 else 0.0
+    per_task_rps = n_records / per_task_seconds if per_task_seconds > 0 else 0.0
+    grouped_rps = n_records / grouped_seconds if grouped_seconds > 0 else 0.0
+    cpu_count = os.cpu_count() or 1
+    enforced = cpu_count >= workers
+    payload = {
+        "n_configs": len(configs),
+        "replicates": replicates,
+        "n_schedulers": len(_HEURISTIC_SCHEDULERS),
+        "n_records": n_records,
+        "worker_count": workers,
+        "cpu_count": cpu_count,
+        "wall_clock_serial_s": round(serial_seconds, 3),
+        "records_per_second_serial": round(serial_rps, 1),
+        "stage_seconds_grouped": {
+            stage: round(seconds, 4)
+            for stage, seconds in sorted(grouped.stage_seconds.items())
+        },
+        "bit_identical": identical,
+        "throughput_gate_enforced": enforced,
+    }
+    if enforced:
+        payload.update(
+            {
+                "status": "measured",
+                "wall_clock_per_task_s": round(per_task_seconds, 3),
+                "records_per_second_per_task": round(per_task_rps, 1),
+                "wall_clock_grouped_s": round(grouped_seconds, 3),
+                "records_per_second_grouped": round(grouped_rps, 1),
+                "grouped_vs_serial": round(grouped_rps / serial_rps, 3)
+                if serial_rps > 0
+                else 0.0,
+                "grouped_vs_per_task": round(grouped_rps / per_task_rps, 3)
+                if per_task_rps > 0
+                else 0.0,
+            }
+        )
+    else:
+        payload["status"] = "skipped (insufficient cpus)"
+    _update_artifact("campaign_throughput", payload)
+
+    # The hard invariant holds on any machine: neither the worker count nor
+    # the dispatch granularity may change the record set.
+    assert identical, (
+        "group-batched dispatch changed the campaign record set"
+    )
+    assert not any(r.failed for r in serial), "mini-campaign has failed runs"
+    if not enforced:
+        pytest.skip(
+            f"only {cpu_count} CPU(s); the >= 2x throughput gate needs "
+            f">= {workers} (measurement recorded in {_ARTIFACT})"
+        )
+    assert grouped_rps >= 2.0 * serial_rps, (
+        f"group-batched dispatch at {workers} workers reached only "
+        f"{grouped_rps:.0f} records/s vs {serial_rps:.0f} serial "
+        f"({grouped_rps / serial_rps:.2f}x; target >= 2x)"
     )
 
 

@@ -158,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--save-csv", type=str, default=None)
     camp.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
     camp.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the campaign's per-stage wall-clock breakdown "
+        "(dispatch / compute / serialize / journal) after the run",
+    )
+    camp.add_argument(
         "--checkpoint",
         type=str,
         default=None,
@@ -447,16 +453,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+_STAGE_ORDER = ("dispatch", "compute", "serialize", "journal")
+
+
+def _profile_table(stage_seconds: dict[str, float]) -> TextTable:
+    """The ``--profile`` per-stage wall-clock breakdown of a campaign run."""
+    table = TextTable(
+        headers=["Stage", "seconds", "share (%)"],
+        title="Campaign stage profile",
+    )
+    known = [s for s in _STAGE_ORDER if s in stage_seconds]
+    extra = sorted(s for s in stage_seconds if s not in _STAGE_ORDER)
+    total = sum(stage_seconds.values())
+    for stage in known + extra:
+        seconds = stage_seconds[stage]
+        share = 100.0 * seconds / total if total > 0 else 0.0
+        table.add_row([stage, seconds, share])
+    table.add_row(["total", total, 100.0 if total > 0 else 0.0])
+    return table
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint FILE", file=sys.stderr)
         return 2
-    if args.ab_backends and (args.checkpoint or args.save_csv or args.breakdowns):
+    if args.ab_backends and (args.checkpoint or args.save_csv or args.breakdowns or args.profile):
         # The A/B path runs two campaigns and prints a comparison; wiring a
-        # single journal/CSV/table set to it would silently drop one side.
+        # single journal/CSV/table/profile set to it would silently drop one
+        # side.
         print(
             "error: --ab-backends is incompatible with --checkpoint, "
-            "--save-csv and --breakdowns",
+            "--save-csv, --breakdowns and --profile",
             file=sys.stderr,
         )
         return 2
@@ -558,6 +585,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.save_csv:
         path = save_records_csv(results, args.save_csv)
         print(f"raw records saved to {path}")
+    if args.profile:
+        print()
+        print(_profile_table(results.stage_seconds).render())
     if args.shard:
         # A shard leg's aggregate tables would cover a partial design;
         # summarize the leg instead and leave the tables to 'report'.

@@ -330,6 +330,36 @@ class CampaignCheckpoint:
             }
         )
 
+    def append_batch(
+        self, entries: Iterable[tuple[str, RunRecord]]
+    ) -> None:
+        """Journal a batch of completed tasks with one write and one flush.
+
+        The group-dispatch fast path: the per-line ``json.dumps`` format is
+        identical to :meth:`append`, but the batch reaches the OS as a
+        single buffered write flushed once at the group boundary instead of
+        one syscall pair per record.  Durability moves to the batch
+        boundary; a kill mid-write truncates at most the trailing line,
+        which :meth:`open_append` seals and :meth:`load` skips, so the
+        resumed campaign recomputes exactly the unjournaled tasks.
+        """
+        if self._handle is None:
+            raise ReproError("checkpoint is not open for appending")
+        lines = [
+            json.dumps(
+                {
+                    "task": [record.config, record.replicate, scheduler_key],
+                    "record": record_to_jsonable(record),
+                },
+                allow_nan=False,
+            )
+            for scheduler_key, record in entries
+        ]
+        if not lines:
+            return
+        self._handle.write("".join(line + "\n" for line in lines))
+        self._handle.flush()
+
     def _write_line(self, payload: dict[str, object]) -> None:
         assert self._handle is not None
         self._handle.write(json.dumps(payload, allow_nan=False) + "\n")

@@ -33,13 +33,24 @@ through a pool of long-lived worker processes:
   instance's *content* -- and because each content key's bucket history is
   the group's canonical prefix at any worker count, the bank preserves the
   serial/sharded bit-identity invariant instead of breaking it.
-* **Streaming collection.**  Tasks are submitted through a bounded in-flight
-  window per lane and collected as they complete (no head-of-line blocking,
-  bounded memory); each completed record is appended to an optional
-  :class:`~repro.experiments.io.CampaignCheckpoint` so a killed campaign can
-  be resumed without recomputing finished triples.  The returned record list
-  is always in canonical task order, independent of completion order and of
-  ``n_workers``.
+* **Group-batched dispatch + packed transport.**  Because lanes already deal
+  work in whole ``(configuration, replicate)`` groups, the pool path submits
+  each group as *one* :func:`_run_task_group` future covering every
+  scheduler of the group: one pickle/IPC round-trip and one instance-cache
+  lookup amortized over the ~13 schedulers of a group instead of one per
+  record.  The group's records return as one :class:`PackedRecords`
+  columnar payload (a single float64 metrics buffer plus one shared
+  metadata dict), and its journal lines are written in one batch with a
+  single flush at the group boundary.  ``dispatch="task"`` restores the
+  historical one-future-per-scheduler granularity; both paths produce
+  bit-identical record sets.
+* **Streaming collection.**  Dispatch units are submitted through a bounded
+  in-flight window per lane and collected as they complete (no head-of-line
+  blocking, bounded memory); each completed record is appended to an
+  optional :class:`~repro.experiments.io.CampaignCheckpoint` so a killed
+  campaign can be resumed without recomputing finished triples.  The
+  returned record list is always in canonical task order, independent of
+  completion order and of ``n_workers``.
 """
 
 from __future__ import annotations
@@ -52,6 +63,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
@@ -67,6 +80,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "RunRecord",
+    "PackedRecords",
     "ExperimentResults",
     "CampaignTask",
     "CampaignProgress",
@@ -145,12 +159,110 @@ class RunRecord:
         del values["scheduler_time"]
         return nan_to_none(values)
 
+    @staticmethod
+    def to_packed(records: Sequence["RunRecord"]) -> "PackedRecords":
+        """Columnar-encode one group's records (see :class:`PackedRecords`)."""
+        return PackedRecords.pack(records)
+
+    @staticmethod
+    def from_packed(packed: "PackedRecords") -> list["RunRecord"]:
+        """Rebuild the records of a :meth:`to_packed` payload, bit-exactly."""
+        return packed.unpack()
+
+
+#: RunRecord fields shared by every record of one (configuration, replicate)
+#: group -- carried once per packed group instead of once per record.
+_GROUP_META_FIELDS = (
+    "config",
+    "replicate",
+    "n_jobs",
+    "n_clusters",
+    "n_databanks",
+    "availability",
+    "density",
+)
+
+#: RunRecord float columns carried as one (k, 6) float64 buffer per group.
+_PACKED_METRIC_FIELDS = (
+    "max_stretch",
+    "sum_stretch",
+    "max_flow",
+    "sum_flow",
+    "makespan",
+    "scheduler_time",
+)
+
+
+@dataclass(frozen=True)
+class PackedRecords:
+    """One (configuration, replicate) group's records in columnar form.
+
+    The pool-transport encoding of the group-batched dispatch: the fields
+    every record of the group shares travel once in ``meta``, the per-record
+    scheduler display names as a tuple, and the six float metric columns as
+    a single ``(k, 6)`` float64 buffer.  Pickling a group therefore moves
+    one contiguous numpy buffer (serialized as raw memory, no per-field
+    boxing) plus a handful of scalars, instead of ``k`` full dataclass
+    objects.  ``pack``/``unpack`` round-trip bit-exactly: float64 columns
+    store the records' python floats verbatim (NaN included -- failed runs
+    normalize through :func:`nan_to_none` downstream, exactly as before).
+    """
+
+    meta: dict[str, object]
+    schedulers: tuple[str, ...]
+    metrics: np.ndarray
+    failed: np.ndarray
+
+    @classmethod
+    def pack(cls, records: Sequence[RunRecord]) -> "PackedRecords":
+        if not records:
+            raise ValueError("cannot pack an empty record group")
+        first = records[0]
+        meta = {field: getattr(first, field) for field in _GROUP_META_FIELDS}
+        metrics = np.empty((len(records), len(_PACKED_METRIC_FIELDS)), dtype=np.float64)
+        failed = np.empty(len(records), dtype=np.bool_)
+        for i, record in enumerate(records):
+            for j, field in enumerate(_PACKED_METRIC_FIELDS):
+                metrics[i, j] = getattr(record, field)
+            failed[i] = record.failed
+        return cls(
+            meta=meta,
+            schedulers=tuple(record.scheduler for record in records),
+            metrics=metrics,
+            failed=failed,
+        )
+
+    def unpack(self) -> list[RunRecord]:
+        rows = self.metrics.tolist()
+        flags = self.failed.tolist()
+        return [
+            RunRecord(
+                scheduler=scheduler,
+                max_stretch=row[0],
+                sum_stretch=row[1],
+                max_flow=row[2],
+                sum_flow=row[3],
+                makespan=row[4],
+                scheduler_time=row[5],
+                failed=flag,
+                **self.meta,
+            )
+            for scheduler, row, flag in zip(self.schedulers, rows, flags)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.schedulers)
+
 
 class ExperimentResults:
     """A flat collection of :class:`RunRecord` with filtering helpers."""
 
     def __init__(self, records: Iterable[RunRecord] = ()):
         self.records: list[RunRecord] = list(records)
+        #: Per-stage wall-clock of the producing campaign run (``dispatch`` /
+        #: ``compute`` / ``serialize`` / ``journal``), filled in by
+        #: :func:`run_campaign`; empty for derived or merged result sets.
+        self.stage_seconds: dict[str, float] = {}
 
     def __len__(self) -> int:
         return len(self.records)
@@ -227,6 +339,9 @@ class CampaignProgress:
     ``rate`` and ``eta_seconds`` are computed over the tasks executed in
     *this* process invocation (checkpoint-restored tasks are excluded so a
     resumed campaign does not report a fantasy throughput).
+    ``stage_seconds`` is the run's cumulative per-stage wall-clock so far
+    (``dispatch`` / ``compute`` / ``serialize`` / ``journal`` -- the
+    breakdown behind ``campaign --profile``).
     """
 
     completed: int
@@ -235,6 +350,7 @@ class CampaignProgress:
     elapsed_seconds: float
     rate: float
     eta_seconds: float
+    stage_seconds: Mapping[str, float] | None = None
 
     def __str__(self) -> str:
         config, replicate, scheduler = self.triple
@@ -391,15 +507,15 @@ def _init_worker() -> None:
     _worker_state()
 
 
-def _run_task(
+def _run_one(
+    state: _WorkerState,
     config: ExperimentConfig,
     replicate: int,
     scheduler_key: str,
     seed: int,
-    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None,
 ) -> RunRecord:
-    """Worker body: run one scheduler on the (cached) realized instance."""
-    state = _worker_state()
+    """Run one scheduler on the (cached) realized instance of ``state``."""
     instance = state.instance_for(config, seed)
     # Configuration-level replanning knobs first, then explicit per-key
     # options so callers can still override them.
@@ -416,15 +532,8 @@ def _run_task(
     failed = False
     try:
         result = simulate(instance, scheduler)
-        metrics = result.report()
-        values = dict(
-            max_stretch=metrics.max_stretch,
-            sum_stretch=metrics.sum_stretch,
-            max_flow=metrics.max_flow,
-            sum_flow=metrics.sum_flow,
-            makespan=metrics.makespan,
-            scheduler_time=result.scheduler_time,
-        )
+        values = result.metrics_row()
+        values["scheduler_time"] = result.scheduler_time
     except ReproError:
         # A scheduler failure (e.g. an LP numerical breakdown on a corner
         # case) is recorded instead of aborting the whole campaign.
@@ -449,6 +558,46 @@ def _run_task(
         failed=failed,
         **values,
     )
+
+
+def _run_task(
+    config: ExperimentConfig,
+    replicate: int,
+    scheduler_key: str,
+    seed: int,
+    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+) -> RunRecord:
+    """Worker body: run one scheduler on the (cached) realized instance."""
+    return _run_one(
+        _worker_state(), config, replicate, scheduler_key, seed, scheduler_options
+    )
+
+
+def _run_task_group(
+    config: ExperimentConfig,
+    replicate: int,
+    seed: int,
+    scheduler_keys: Sequence[str],
+    scheduler_options: Mapping[str, Mapping[str, object]] | None = None,
+) -> tuple[PackedRecords, float, float]:
+    """Worker body: run a whole (configuration, replicate) group in one call.
+
+    One pool round-trip covers every scheduler of the group: the instance is
+    realized (or LRU-hit) once, each scheduler runs back to back in the
+    historical canonical order, and the records return as one packed
+    columnar payload.  Returns ``(packed, compute_seconds, pack_seconds)``
+    so the collector can account wall-clock to the right profile stage.
+    """
+    state = _worker_state()
+    t_compute = time.perf_counter()
+    records = [
+        _run_one(state, config, replicate, key, seed, scheduler_options)
+        for key in scheduler_keys
+    ]
+    compute_seconds = time.perf_counter() - t_compute
+    t_pack = time.perf_counter()
+    packed = RunRecord.to_packed(records)
+    return packed, compute_seconds, time.perf_counter() - t_pack
 
 
 def run_configuration(
@@ -489,17 +638,24 @@ class _CampaignRun:
         self.completed = 0
         self.completed_live = 0
         self.started = time.perf_counter()
+        #: Cumulative per-stage wall-clock of this run (the ``--profile``
+        #: breakdown): ``dispatch`` = submitting futures, ``compute`` =
+        #: worker-side scheduler runs, ``serialize`` = packing + unpacking
+        #: the columnar payloads, ``journal`` = checkpoint writes.
+        self.stage_seconds: dict[str, float] = {
+            "dispatch": 0.0,
+            "compute": 0.0,
+            "serialize": 0.0,
+            "journal": 0.0,
+        }
 
     def restore(self, index: int, record: RunRecord) -> None:
         """Adopt a checkpoint-restored record (not re-announced per task)."""
         self.slots[index] = record
         self.completed += 1
 
-    def finish(self, index: int, record: RunRecord) -> None:
-        """Adopt a freshly computed record: store, checkpoint, announce."""
+    def _announce(self, index: int, record: RunRecord) -> None:
         self.slots[index] = record
-        if self.checkpoint is not None:
-            self.checkpoint.append(self.tasks[index].scheduler_key, record)
         self.completed += 1
         self.completed_live += 1
         if self.progress is not None:
@@ -514,12 +670,56 @@ class _CampaignRun:
                     elapsed_seconds=elapsed,
                     rate=rate,
                     eta_seconds=remaining / rate if rate > 0 else math.inf,
+                    stage_seconds=dict(self.stage_seconds),
                 )
             )
 
+    def finish(self, index: int, record: RunRecord) -> None:
+        """Adopt a freshly computed record: store, checkpoint, announce."""
+        if self.checkpoint is not None:
+            t_journal = time.perf_counter()
+            self.checkpoint.append(self.tasks[index].scheduler_key, record)
+            self.stage_seconds["journal"] += time.perf_counter() - t_journal
+        self._announce(index, record)
+
+    def finish_group(
+        self,
+        indices: Sequence[int],
+        packed: PackedRecords,
+        compute_seconds: float,
+        pack_seconds: float,
+    ) -> None:
+        """Adopt one group's packed records: unpack, journal once, announce.
+
+        The group's journal lines are written in one batch with a single
+        flush (:meth:`~repro.experiments.io.CampaignCheckpoint.append_batch`)
+        -- the group boundary is the durability boundary, and the
+        truncated-line sealing of ``open_append`` keeps a kill mid-batch
+        resumable exactly once.
+        """
+        t_unpack = time.perf_counter()
+        records = RunRecord.from_packed(packed)
+        self.stage_seconds["serialize"] += (
+            pack_seconds + time.perf_counter() - t_unpack
+        )
+        self.stage_seconds["compute"] += compute_seconds
+        if self.checkpoint is not None:
+            t_journal = time.perf_counter()
+            self.checkpoint.append_batch(
+                [
+                    (self.tasks[index].scheduler_key, record)
+                    for index, record in zip(indices, records)
+                ]
+            )
+            self.stage_seconds["journal"] += time.perf_counter() - t_journal
+        for index, record in zip(indices, records):
+            self._announce(index, record)
+
     def results(self) -> ExperimentResults:
         assert all(record is not None for record in self.slots)
-        return ExperimentResults(self.slots)  # type: ignore[arg-type]
+        results = ExperimentResults(self.slots)  # type: ignore[arg-type]
+        results.stage_seconds = dict(self.stage_seconds)
+        return results
 
 
 def run_campaign(
@@ -535,6 +735,7 @@ def run_campaign(
     resume: bool = False,
     max_in_flight: int | None = None,
     shard: "object | str | None" = None,
+    dispatch: str = "group",
 ) -> ExperimentResults:
     """Run a whole campaign (all configurations x replicates x schedulers).
 
@@ -576,7 +777,9 @@ def run_campaign(
         contains.  Without ``resume``, an existing checkpoint file is an
         error (never silently overwritten or duplicated).
     max_in_flight:
-        Bound on concurrently submitted tasks (default: 4 per worker).
+        Bound on concurrently submitted dispatch units (default: 4 per
+        worker).  Under group dispatch a unit is a whole (configuration,
+        replicate) group; under per-task dispatch it is a single task.
     shard:
         Optional :class:`~repro.experiments.sharding.ShardPlan` (or an
         ``"i/N"`` spec string) restricting this invocation to one
@@ -584,7 +787,16 @@ def run_campaign(
         the shard identity, so a shard journal can only resume its own
         slice; :func:`~repro.experiments.merge.merge_journals` reunites the
         N slices into the full record set.
+    dispatch:
+        ``"group"`` (default) runs each (configuration, replicate) group as
+        one dispatch unit -- one pool round-trip, one packed payload and one
+        batched journal flush per group.  ``"task"`` restores the historical
+        one-unit-per-scheduler granularity (useful as the amortization
+        baseline in benchmarks).  Both produce bit-identical record sets at
+        every worker count.
     """
+    if dispatch not in ("group", "task"):
+        raise ReproError(f"unknown dispatch mode {dispatch!r} (group or task)")
     tasks = campaign_tasks(configs, scheduler_keys, replicates, base_seed)
 
     plan = None
@@ -658,15 +870,27 @@ def run_campaign(
     try:
         if n_workers <= 1:
             try:
-                for i in pending:
-                    task = tasks[i]
-                    run.finish(
-                        i,
-                        _run_task(
-                            task.config, task.replicate, task.scheduler_key,
-                            task.seed, scheduler_options,
-                        ),
-                    )
+                if dispatch == "group":
+                    for indices in _group_pending(tasks, pending):
+                        first = tasks[indices[0]]
+                        packed, compute_seconds, pack_seconds = _run_task_group(
+                            first.config,
+                            first.replicate,
+                            first.seed,
+                            tuple(tasks[i].scheduler_key for i in indices),
+                            scheduler_options,
+                        )
+                        run.finish_group(indices, packed, compute_seconds, pack_seconds)
+                else:
+                    for i in pending:
+                        task = tasks[i]
+                        run.finish(
+                            i,
+                            _run_task(
+                                task.config, task.replicate, task.scheduler_key,
+                                task.seed, scheduler_options,
+                            ),
+                        )
             finally:
                 # Pool workers die with the pool; the serial path runs in the
                 # caller's process, so drop the cached instances and live
@@ -679,11 +903,33 @@ def run_campaign(
                 if max_in_flight is not None
                 else n_workers * _IN_FLIGHT_PER_WORKER
             )
-            _run_pooled(run, pending, n_workers, scheduler_options, window)
+            _run_pooled(run, pending, n_workers, scheduler_options, window, dispatch)
     finally:
         if ckpt is not None:
             ckpt.close()
     return run.results()
+
+
+def _group_pending(
+    tasks: Sequence[CampaignTask], pending: Sequence[int]
+) -> list[list[int]]:
+    """Contiguous runs of pending indices sharing one (configuration, replicate).
+
+    ``pending`` is in canonical (scheduler-innermost) order, so the not-yet-
+    computed tasks of one realized instance are adjacent; after a resume, a
+    partially-journaled group simply yields a shorter run covering only its
+    missing schedulers.
+    """
+    groups: list[list[int]] = []
+    current_key: tuple[str, int] | None = None
+    for index in pending:
+        task = tasks[index]
+        key = (task.config.name, task.replicate)
+        if key != current_key:
+            groups.append([])
+            current_key = key
+        groups[-1].append(index)
+    return groups
 
 
 def _lane_assignments(tasks: Sequence[CampaignTask], n_workers: int) -> list[int]:
@@ -717,46 +963,66 @@ def _run_pooled(
     n_workers: int,
     scheduler_options: Mapping[str, Mapping[str, object]] | None,
     max_in_flight: int,
+    dispatch: str,
 ) -> None:
-    """Stream ``pending`` task indices through per-lane single-worker pools.
+    """Stream ``pending`` dispatch units through per-lane single-worker pools.
 
     Each lane is a dedicated one-process pool fed in canonical order from
     its own FIFO queue, so a lane's tasks execute exactly in serial order on
-    one long-lived worker (replicate affinity); submission is windowed per
-    lane (bounded memory, and the worker never idles waiting for the
+    one long-lived worker (replicate affinity).  Under group dispatch a unit
+    is a whole (configuration, replicate) group submitted as one
+    :func:`_run_task_group` future returning one packed payload; under
+    per-task dispatch each unit is a single task.  Submission is windowed
+    per lane (bounded memory, and the worker never idles waiting for the
     collector) and collection uses ``wait(FIRST_COMPLETED)`` across all
-    lanes, so records are checkpointed and reported the moment they finish
-    -- a straggler lane blocks neither the progress stream nor the other
-    lanes.
+    lanes, so records are checkpointed and reported the moment their unit
+    finishes -- a straggler lane blocks neither the progress stream nor the
+    other lanes.
     """
     tasks = run.tasks
     lanes = _lane_assignments(tasks, n_workers)
-    queues: list[deque[int]] = [deque() for _ in range(n_workers)]
-    for index in pending:
-        queues[lanes[index]].append(index)
+    if dispatch == "group":
+        # Every index of a group shares its lane by construction (lanes are
+        # dealt per (configuration, replicate) group).
+        units = _group_pending(tasks, pending)
+    else:
+        units = [[index] for index in pending]
+    queues: list[deque[list[int]]] = [deque() for _ in range(n_workers)]
+    for unit in units:
+        queues[lanes[unit[0]]].append(unit)
     window = max(1, max_in_flight // n_workers)
+    stage_seconds = run.stage_seconds
 
     pools: dict[int, ProcessPoolExecutor] = {}
-    in_flight: dict[object, int] = {}
+    in_flight: dict[object, list[int]] = {}
     try:
 
         def submit_next(lane: int) -> None:
             queue = queues[lane]
             if not queue:
                 return
-            index = queue.popleft()
-            task = tasks[index]
+            unit = queue.popleft()
+            first = tasks[unit[0]]
             pool = pools.get(lane)
             if pool is None:
                 # Lazily created: an empty lane (fewer pending groups than
                 # workers, or a mostly-restored resume) costs no process.
                 pool = ProcessPoolExecutor(max_workers=1, initializer=_init_worker)
                 pools[lane] = pool
-            future = pool.submit(
-                _run_task, task.config, task.replicate, task.scheduler_key,
-                task.seed, scheduler_options,
-            )
-            in_flight[future] = index
+            t_submit = time.perf_counter()
+            if dispatch == "group":
+                future = pool.submit(
+                    _run_task_group, first.config, first.replicate, first.seed,
+                    tuple(tasks[index].scheduler_key for index in unit),
+                    scheduler_options,
+                )
+            else:
+                future = pool.submit(
+                    _run_task, first.config, first.replicate, first.scheduler_key,
+                    first.seed, scheduler_options,
+                )
+            stage_seconds["dispatch"] += time.perf_counter() - t_submit
+            in_flight[future] = unit
 
         for lane in range(n_workers):
             for _ in range(window):
@@ -764,9 +1030,13 @@ def _run_pooled(
         while in_flight:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
-                index = in_flight.pop(future)
-                submit_next(lanes[index])
-                run.finish(index, future.result())
+                unit = in_flight.pop(future)
+                submit_next(lanes[unit[0]])
+                if dispatch == "group":
+                    packed, compute_seconds, pack_seconds = future.result()
+                    run.finish_group(unit, packed, compute_seconds, pack_seconds)
+                else:
+                    run.finish(unit[0], future.result())
     finally:
         for pool in pools.values():
             pool.shutdown(wait=True, cancel_futures=True)

@@ -21,10 +21,13 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+import numpy as np
+
 from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.core.schedule import Schedule
 from repro.simulation.state import Assignment, JobRuntime, SchedulerState
+from repro.schedulers import kernels
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.schedulers.policies import ReplanPolicy
@@ -113,17 +116,36 @@ class PriorityScheduler(Scheduler):
     def priority(self, state: SchedulerState, runtime: JobRuntime) -> float:
         """Priority key of an active job (smaller = more urgent)."""
 
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        """Priority keys of ``runtimes`` as a float64 array.
+
+        The default evaluates :meth:`priority` job by job; subclasses whose
+        key is arrayable override this to build the whole vector in one pass
+        (the values must match :meth:`priority` exactly -- the ranking
+        kernel consumes them verbatim).
+        """
+        return np.fromiter(
+            (self.priority(state, rt) for rt in runtimes),
+            np.float64,
+            count=len(runtimes),
+        )
+
     def assign(self, state: SchedulerState) -> Assignment:
         instance = state.instance
-        order = sorted(
-            state.active_jobs(),
-            key=lambda rt: (self.priority(state, rt), rt.job_id),
+        runtimes = state.active_jobs()
+        keys = np.asarray(self.priority_keys(state, runtimes), dtype=np.float64)
+        job_ids = np.fromiter(
+            (rt.job_id for rt in runtimes), np.int64, count=len(runtimes)
         )
+        order = kernels.rank_by_priority(keys, job_ids)
         available = set(instance.platform.ids())
         mapping: dict[int, int] = {}
-        for runtime in order:
+        for position in order.tolist():
             if not available:
                 break
+            runtime = runtimes[position]
             eligible = [
                 m for m in instance.eligible_machine_ids(runtime.job_id) if m in available
             ]
@@ -177,12 +199,18 @@ class PlanBasedScheduler(Scheduler):
     def __init__(self, policy: "ReplanPolicy | None" = None) -> None:
         self.instance: Instance | None = None
         self._plan: dict[int, list[PlanSegment]] = {}
+        #: Per-machine (starts, ends) float64 views of ``_plan``, built lazily
+        #: for the plan-horizon kernel and dropped whenever the machine's
+        #: segment list changes (every mutation goes through the methods
+        #: below, so the cache cannot go stale).
+        self._plan_arrays: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.policy = policy
         self._recheck_at: float | None = None
 
     def reset(self, instance: Instance) -> None:
         self.instance = instance
         self._plan = {m.machine_id: [] for m in instance.platform}
+        self._plan_arrays = {}
         self._recheck_at = None
         if self.policy is not None:
             self.policy.reset(instance)
@@ -192,6 +220,7 @@ class PlanBasedScheduler(Scheduler):
         """Replace the whole plan."""
         assert self.instance is not None
         self._plan = {m.machine_id: [] for m in self.instance.platform}
+        self._plan_arrays = {}
         self.extend_plan(segments)
 
     def extend_plan(self, segments: Iterable[PlanSegment]) -> None:
@@ -199,6 +228,7 @@ class PlanBasedScheduler(Scheduler):
         for segment in segments:
             per_machine = self._plan.setdefault(segment.machine_id, [])
             per_machine.append(segment)
+            self._plan_arrays.pop(segment.machine_id, None)
         for per_machine in self._plan.values():
             per_machine.sort(key=lambda s: s.start)
 
@@ -224,6 +254,7 @@ class PlanBasedScheduler(Scheduler):
                     )
                 # Segments starting after ``time`` are dropped.
             self._plan[machine_id] = kept
+        self._plan_arrays = {}
 
     def plan_segments(self, machine_id: int | None = None) -> list[PlanSegment]:
         """The current plan (for inspection and testing)."""
@@ -233,14 +264,16 @@ class PlanBasedScheduler(Scheduler):
 
     def plan_horizon(self, machine_id: int, time: float) -> float:
         """Earliest date >= ``time`` at which the machine becomes free in the plan."""
-        horizon = time
-        for segment in self._plan.get(machine_id, []):
-            if segment.end <= horizon + 1e-12:
-                continue
-            if segment.start > horizon + 1e-12:
-                break
-            horizon = segment.end
-        return horizon
+        arrays = self._plan_arrays.get(machine_id)
+        if arrays is None:
+            per_machine = self._plan.get(machine_id, ())
+            count = len(per_machine)
+            arrays = (
+                np.fromiter((s.start for s in per_machine), np.float64, count=count),
+                np.fromiter((s.end for s in per_machine), np.float64, count=count),
+            )
+            self._plan_arrays[machine_id] = arrays
+        return kernels.plan_horizon_scan(arrays[0], arrays[1], time)
 
     def plan_tail(self, machine_id: int, time: float) -> float:
         """Date at which the machine's *whole* plan is over (>= ``time``).

@@ -21,9 +21,13 @@ shows, far from the LP-based heuristics in practice.
 from __future__ import annotations
 
 import math
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.instance import Instance
 from repro.simulation.state import JobRuntime, SchedulerState
+from repro.schedulers import kernels
 from repro.schedulers.base import PriorityScheduler
 
 __all__ = ["Bender02Scheduler"]
@@ -81,3 +85,18 @@ class Bender02Scheduler(PriorityScheduler):
         # Larger pseudo-stretch = more urgent; PriorityScheduler treats
         # smaller keys as higher priority, hence the negation.
         return -self.pseudo_stretch(state, runtime)
+
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        delta = max(self._delta, 1.0)
+        min_size = self._min_size
+        now = state.time
+        count = len(runtimes)
+        ages = np.fromiter(
+            (now - rt.job.release for rt in runtimes), np.float64, count=count
+        )
+        relative_sizes = np.fromiter(
+            (rt.job.size / min_size for rt in runtimes), np.float64, count=count
+        )
+        return kernels.pseudo_stretch_priorities(ages, relative_sizes, delta)

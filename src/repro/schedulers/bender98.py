@@ -20,12 +20,16 @@ effective max-stretch guarantee very loose.
 from __future__ import annotations
 
 import math
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.instance import Instance
 from repro.core.job import Job
 from repro.lp.maxstretch import minimize_max_weighted_flow
 from repro.lp.problem import problem_from_instance
 from repro.simulation.state import JobRuntime, SchedulerState
+from repro.schedulers import kernels
 from repro.schedulers.base import PriorityScheduler
 
 __all__ = ["Bender98Scheduler"]
@@ -87,10 +91,32 @@ class Bender98Scheduler(PriorityScheduler):
         solution = minimize_max_weighted_flow(problem)
         self.n_resolutions += 1
         optimal = solution.objective
-        for job_id in released:
-            flow_factor = 1.0 / instance.weight(job_id)
-            release = instance.job(job_id).release
-            self._deadlines[job_id] = release + self._expansion * optimal * flow_factor
+        count = len(released)
+        releases = np.fromiter(
+            (instance.job(job_id).release for job_id in released),
+            np.float64,
+            count=count,
+        )
+        flow_factors = np.fromiter(
+            (1.0 / instance.weight(job_id) for job_id in released),
+            np.float64,
+            count=count,
+        )
+        deadlines = kernels.expand_deadlines(
+            releases, flow_factors, self._expansion * optimal
+        )
+        for job_id, deadline in zip(released, deadlines.tolist()):
+            self._deadlines[job_id] = deadline
 
     def priority(self, state: SchedulerState, runtime: JobRuntime) -> float:
         return self._deadlines.get(runtime.job_id, float("inf"))
+
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        deadlines = self._deadlines
+        return np.fromiter(
+            (deadlines.get(rt.job_id, math.inf) for rt in runtimes),
+            np.float64,
+            count=len(runtimes),
+        )

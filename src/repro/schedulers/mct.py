@@ -15,11 +15,13 @@ availability dates).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
+
+import numpy as np
 
 from repro.core.job import Job
 from repro.simulation.state import SchedulerState
+from repro.schedulers import kernels
 from repro.schedulers.base import PlanBasedScheduler, PlanSegment
 
 __all__ = ["MCTScheduler", "MCTDivScheduler"]
@@ -33,17 +35,23 @@ class MCTScheduler(PlanBasedScheduler):
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
         instance = state.instance
         now = state.time
-        best_machine = None
-        best_completion = math.inf
-        for machine in instance.eligible_machines(job.job_id):
-            available = self.plan_horizon(machine.machine_id, now)
-            completion = max(available, now) + job.size * machine.cycle_time
-            if completion < best_completion - 1e-15:
-                best_completion = completion
-                best_machine = machine
-        if best_machine is None:  # pragma: no cover - instances are validated upstream
+        machines = list(instance.eligible_machines(job.job_id))
+        count = len(machines)
+        available = np.fromiter(
+            (self.plan_horizon(m.machine_id, now) for m in machines),
+            np.float64,
+            count=count,
+        )
+        cycle_times = np.fromiter(
+            (m.cycle_time for m in machines), np.float64, count=count
+        )
+        index, best_completion = kernels.mct_argmin_completion(
+            available, cycle_times, now, job.size
+        )
+        if index < 0:  # pragma: no cover - instances are validated upstream
             raise RuntimeError(f"no eligible machine for job {job.job_id}")
-        start = max(self.plan_horizon(best_machine.machine_id, now), now)
+        best_machine = machines[index]
+        start = max(float(available[index]), now)
         self.extend_plan(
             [
                 PlanSegment(
@@ -64,15 +72,18 @@ class MCTDivScheduler(PlanBasedScheduler):
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
         instance = state.instance
         now = state.time
-        machines = instance.eligible_machines(job.job_id)
-        availability = [
-            max(self.plan_horizon(m.machine_id, now), now) for m in machines
-        ]
-        completion = _water_filling_completion(
-            job.size, [m.speed for m in machines], availability
+        machines = list(instance.eligible_machines(job.job_id))
+        count = len(machines)
+        availability = np.fromiter(
+            (max(self.plan_horizon(m.machine_id, now), now) for m in machines),
+            np.float64,
+            count=count,
         )
+        speeds = np.fromiter((m.speed for m in machines), np.float64, count=count)
+        completion = kernels.water_filling_completion(job.size, speeds, availability)
         segments = []
-        for machine, available in zip(machines, availability):
+        for i, machine in enumerate(machines):
+            available = float(availability[i])
             if completion > available + 1e-15:
                 segments.append(
                     PlanSegment(
@@ -92,25 +103,12 @@ def _water_filling_completion(
 
     Machine ``i`` becomes available at ``availability[i]`` and then processes
     at ``speeds[i]``; the job completes at the smallest ``T`` such that
-    ``sum_i speeds[i] * max(0, T - availability[i]) = work``.
+    ``sum_i speeds[i] * max(0, T - availability[i]) = work``.  Thin sequence
+    front-end over :func:`repro.schedulers.kernels.water_filling_completion`
+    (which dispatches the active kernel tier).
     """
-    if not speeds:
-        raise ValueError("at least one machine is required")
-    order = sorted(range(len(speeds)), key=lambda i: availability[i])
-    active_speed = 0.0
-    remaining = work
-    current = availability[order[0]]
-    for rank, idx in enumerate(order):
-        # Advance from the previous availability date to this one using the
-        # machines already active.
-        gap = availability[idx] - current
-        if gap > 0 and active_speed > 0:
-            doable = active_speed * gap
-            if doable >= remaining:
-                return current + remaining / active_speed
-            remaining -= doable
-            current = availability[idx]
-        else:
-            current = max(current, availability[idx])
-        active_speed += speeds[idx]
-    return current + remaining / active_speed
+    return kernels.water_filling_completion(
+        work,
+        np.asarray(speeds, dtype=np.float64),
+        np.asarray(availability, dtype=np.float64),
+    )

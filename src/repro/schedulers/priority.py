@@ -22,7 +22,9 @@ EDF            earliest deadline first, for externally supplied deadlines
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
 
 from repro.simulation.state import JobRuntime, SchedulerState
 from repro.schedulers.base import PriorityScheduler
@@ -45,6 +47,13 @@ class FCFSScheduler(PriorityScheduler):
     def priority(self, state: SchedulerState, runtime: JobRuntime) -> float:
         return runtime.job.release
 
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        return np.fromiter(
+            (rt.job.release for rt in runtimes), np.float64, count=len(runtimes)
+        )
+
 
 class SRPTScheduler(PriorityScheduler):
     """Shortest remaining processing time first (optimal for sum-flow)."""
@@ -54,6 +63,13 @@ class SRPTScheduler(PriorityScheduler):
     def priority(self, state: SchedulerState, runtime: JobRuntime) -> float:
         return runtime.remaining
 
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        return np.fromiter(
+            (rt.remaining for rt in runtimes), np.float64, count=len(runtimes)
+        )
+
 
 class SPTScheduler(PriorityScheduler):
     """Shortest processing time first (priority = original job size)."""
@@ -62,6 +78,13 @@ class SPTScheduler(PriorityScheduler):
 
     def priority(self, state: SchedulerState, runtime: JobRuntime) -> float:
         return runtime.job.size
+
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        return np.fromiter(
+            (rt.job.size for rt in runtimes), np.float64, count=len(runtimes)
+        )
 
 
 class SWPTScheduler(PriorityScheduler):
@@ -80,6 +103,20 @@ class SWPTScheduler(PriorityScheduler):
             return job.size / job.weight
         return job.size * job.size
 
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        return np.fromiter(
+            (
+                rt.job.size / rt.job.weight
+                if rt.job.weight is not None
+                else rt.job.size * rt.job.size
+                for rt in runtimes
+            ),
+            np.float64,
+            count=len(runtimes),
+        )
+
 
 class SWRPTScheduler(PriorityScheduler):
     """Shortest weighted remaining processing time.
@@ -96,6 +133,20 @@ class SWRPTScheduler(PriorityScheduler):
         if job.weight is not None:
             return runtime.remaining / job.weight
         return job.size * runtime.remaining
+
+    def priority_keys(
+        self, state: SchedulerState, runtimes: Sequence[JobRuntime]
+    ) -> np.ndarray:
+        return np.fromiter(
+            (
+                rt.remaining / rt.job.weight
+                if rt.job.weight is not None
+                else rt.job.size * rt.remaining
+                for rt in runtimes
+            ),
+            np.float64,
+            count=len(runtimes),
+        )
 
 
 class EDFScheduler(PriorityScheduler):

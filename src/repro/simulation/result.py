@@ -59,6 +59,23 @@ class SimulationResult:
             self._report = metrics_mod.evaluate(self.instance, self.completions)
         return self._report
 
+    def metrics_row(self) -> dict[str, float]:
+        """The five campaign metrics keyed like ``RunRecord``'s columns.
+
+        The single source of the metric-name -> value mapping shared by the
+        campaign runner's record construction and the packed columnar
+        transport, so a metric cannot be added to one side without the
+        other noticing.
+        """
+        report = self.report()
+        return {
+            "max_stretch": report.max_stretch,
+            "sum_stretch": report.sum_stretch,
+            "max_flow": report.max_flow,
+            "sum_flow": report.sum_flow,
+            "makespan": report.makespan,
+        }
+
     @property
     def max_stretch(self) -> float:
         return self.report().max_stretch

@@ -251,6 +251,129 @@ class TestCheckpoint:
         assert fresh.result_set() == serial_results.result_set()
 
 
+class TestGroupDispatch:
+    """PR-8 group-batched dispatch: packed transport, stage profile, batching.
+
+    ``dispatch="group"`` is the default, so TestSharding above already proves
+    group-dispatch bit-identity at 1/2/4 workers with the solver bank on
+    (and ``test_state_bank.py`` at 2/4 workers, on and off); this class adds
+    the bank-off worker sweep, the per-task escape hatch, the packed-payload
+    round trip, the stage profile and the kill-mid-group durability story.
+    """
+
+    @pytest.fixture(scope="class")
+    def bank_off_configs(self):
+        import dataclasses
+
+        return [dataclasses.replace(c, state_bank=False) for c in CONFIGS]
+
+    @pytest.fixture(scope="class")
+    def serial_bank_off(self, bank_off_configs) -> ExperimentResults:
+        return run_campaign(
+            bank_off_configs, scheduler_keys=KEYS, replicates=REPLICATES,
+            base_seed=SEED,
+        )
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    def test_bank_off_bit_identical_across_workers(
+        self, bank_off_configs, serial_bank_off, n_workers
+    ):
+        sharded = run_campaign(
+            bank_off_configs, scheduler_keys=KEYS, replicates=REPLICATES,
+            base_seed=SEED, n_workers=n_workers,
+        )
+        assert sharded.result_set() == serial_bank_off.result_set()
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_per_task_dispatch_matches_group(self, serial_results, n_workers):
+        per_task = run_campaign(
+            CONFIGS, scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED,
+            n_workers=n_workers, dispatch="task",
+        )
+        assert per_task.result_set() == serial_results.result_set()
+
+    def test_unknown_dispatch_mode_rejected(self):
+        with pytest.raises(ReproError, match="unknown dispatch mode"):
+            run_campaign(
+                CONFIGS, scheduler_keys=KEYS, replicates=1, base_seed=SEED,
+                dispatch="batch",
+            )
+
+    def test_packed_round_trip_is_bit_exact(self):
+        records = [TestJsonNaN.OK, TestJsonNaN.FAILED]
+        packed = RunRecord.to_packed(records)
+        assert len(packed) == 2
+        restored = RunRecord.from_packed(packed)
+        # Failed NaN metrics survive the columnar hop (compare normalized,
+        # exactly like the pool-transport consumer does)...
+        assert [r.result_dict() for r in restored] == [
+            r.result_dict() for r in records
+        ]
+        # ...and the non-NaN record round-trips to full dataclass equality.
+        assert restored[0] == records[0]
+        assert restored[1].failed and math.isnan(restored[1].max_stretch)
+        assert math.isnan(restored[1].scheduler_time)
+
+    def test_packed_rejects_empty_group(self):
+        with pytest.raises(ValueError, match="empty"):
+            RunRecord.to_packed([])
+
+    def test_stage_seconds_cover_the_pipeline(self):
+        events: list[CampaignProgress] = []
+        results = run_campaign(
+            [CONFIGS[0]], scheduler_keys=("swrpt", "mct"), replicates=2,
+            base_seed=SEED, progress=events.append,
+        )
+        assert set(results.stage_seconds) == {
+            "dispatch", "compute", "serialize", "journal",
+        }
+        assert results.stage_seconds["compute"] > 0.0
+        # Progress events carry the running profile (the CLI's live view).
+        assert all(e.stage_seconds is not None for e in events)
+        assert (
+            events[-1].stage_seconds["compute"] == results.stage_seconds["compute"]
+        )
+
+    def test_kill_mid_group_resumes_exactly_once(self, serial_results, tmp_path):
+        full = tmp_path / "full.jsonl"
+        run_campaign(
+            CONFIGS, scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED,
+            checkpoint=full, n_workers=2,
+        )
+        lines = full.read_text().splitlines()
+        # Simulate a kill landing inside a group's batched write: the header,
+        # the first two records of the first (config, replicate) group, and
+        # half of its third record with no trailing newline.
+        partial = tmp_path / "partial.jsonl"
+        partial.write_text(
+            "\n".join(lines[:3]) + "\n" + lines[3][: len(lines[3]) // 2]
+        )
+
+        recomputed: list[CampaignProgress] = []
+        resumed = run_campaign(
+            CONFIGS, scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED,
+            checkpoint=partial, resume=True, n_workers=2,
+            progress=recomputed.append,
+        )
+        # The record set is complete and identical to the uninterrupted
+        # run...
+        assert resumed.result_set() == serial_results.result_set()
+        # ...only the 14 missing triples were recomputed (the interrupted
+        # group resumes as a shorter group covering its missing schedulers;
+        # the sealed truncated record does not count as completed)...
+        total = len(CONFIGS) * REPLICATES * len(KEYS)
+        assert len(recomputed) == total - 2
+        # ...and the journal now holds every triple exactly once.
+        entries = []
+        for line in partial.read_text().splitlines():
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # the sealed truncated fragment
+        triples = [tuple(entry["task"]) for entry in entries if "task" in entry]
+        assert len(triples) == len(set(triples)) == total
+
+
 class TestJsonNaN:
     FAILED = RunRecord(
         config="c", replicate=0, scheduler="broken", n_jobs=3, n_clusters=1,

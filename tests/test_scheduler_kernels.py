@@ -1,0 +1,222 @@
+"""Cross-tier bit-equality of the heuristic-scheduler kernels.
+
+Mirror of ``tests/test_replan_kernels.py`` for :mod:`repro.schedulers.kernels`:
+every kernel in :data:`~repro.schedulers.kernels.KERNEL_NAMES` is checked
+against the ``legacy`` tier (the pre-kernel pure python, kept verbatim) on
+randomized inputs -- with deliberate exact ties and tolerance-band near-ties
+injected so the fallback branches actually fire -- in every importable tier
+(``numpy`` always, ``numba`` on the CI jit leg).  Equality is exact (``==``
+on every element).  A second group checks the contract at the integration
+level: whole-run completions of every heuristic scheduler are identical
+under every tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.schedulers import kernels
+from repro.schedulers.registry import make_scheduler
+from repro.simulation.engine import simulate
+from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+#: Tiers equality-tested against the legacy reference.
+CANDIDATE_TIERS = [t for t in kernels.available_tiers() if t != "legacy"]
+
+#: Randomized trials per kernel and tier.
+N_TRIALS = 25
+
+#: The heuristic (LP-free) schedulers whose event loops call these kernels.
+HEURISTIC_KEYS = (
+    "fcfs",
+    "srpt",
+    "spt",
+    "swpt",
+    "swrpt",
+    "mct",
+    "mct-div",
+    "bender02",
+    "bender98",
+)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _case_mct_argmin_completion(rng):
+    n = int(rng.integers(0, 25))
+    available = rng.uniform(0.0, 30.0, size=n)
+    cycle_times = rng.uniform(0.05, 4.0, size=n)
+    if n > 2 and rng.random() < 0.7:
+        # Duplicate (available, cycle_time) pairs produce exact completion
+        # ties, and 1e-16 jitter produces tolerance-band near-ties: both
+        # force the numpy tier off its unique-winner fast path onto the
+        # sequential champion chain.
+        take = rng.integers(0, n, size=n // 2)
+        jitter = 1.0 + rng.uniform(-1e-16, 1e-16, size=take.size)
+        available = np.concatenate([available, available[take]])
+        cycle_times = np.concatenate([cycle_times, cycle_times[take] * jitter])
+    now = float(rng.uniform(0.0, 30.0))
+    size = float(rng.uniform(0.1, 10.0))
+    return (available, cycle_times, now, size)
+
+
+def _case_water_filling_completion(rng):
+    n = int(rng.integers(1, 20))
+    speeds = rng.uniform(0.2, 5.0, size=n)
+    availability = rng.uniform(0.0, 20.0, size=n)
+    if n > 2 and rng.random() < 0.6:
+        # Duplicate availability dates: the earliest-availability order is
+        # then tie-broken by position, which must match between the legacy
+        # stable tuple sort and the compiled mergesort argsort.
+        take = rng.integers(0, n, size=n // 2)
+        speeds = np.concatenate([speeds, rng.uniform(0.2, 5.0, size=take.size)])
+        availability = np.concatenate([availability, availability[take]])
+    work = float(rng.uniform(0.01, 50.0))
+    return (work, speeds, availability)
+
+
+def _case_plan_horizon_scan(rng):
+    n = int(rng.integers(0, 20))
+    starts = np.empty(n, dtype=np.float64)
+    ends = np.empty(n, dtype=np.float64)
+    cursor = float(rng.uniform(0.0, 5.0))
+    for i in range(n):
+        # Mix exact back-to-back segments, sub-tolerance slivers and real
+        # gaps, so the scan's continue/chain/break arms all fire.
+        gap = float(rng.choice([0.0, 5e-13, 1e-9, 0.8]))
+        starts[i] = cursor + gap
+        ends[i] = starts[i] + float(rng.uniform(0.05, 3.0))
+        cursor = ends[i]
+    time = float(rng.uniform(0.0, 10.0))
+    return (starts, ends, time)
+
+
+def _case_rank_by_priority(rng):
+    n = int(rng.integers(0, 40))
+    priorities = rng.uniform(0.0, 10.0, size=n)
+    if n > 2:
+        # Duplicate priorities exercise the job-id tie-break; inf and the
+        # 1e18-offset sentinels mimic EDF's "no deadline" keys.
+        take = rng.integers(0, n, size=n // 2)
+        priorities[take] = priorities[(take + 1) % n]
+        priorities[rng.integers(0, n)] = np.inf
+        priorities[rng.integers(0, n)] = 1e18 + float(rng.uniform(0.0, 30.0))
+    job_ids = rng.permutation(n).astype(np.int64)
+    return (priorities, job_ids)
+
+
+def _case_pseudo_stretch_priorities(rng):
+    n = int(rng.integers(0, 40))
+    delta = float(rng.uniform(1.0, 50.0))
+    ages = rng.uniform(0.0, 20.0, size=n)
+    relative_sizes = rng.uniform(1.0, delta, size=n)
+    if n > 0:
+        # Pin some sizes exactly at sqrt(delta): the <= boundary of the
+        # branch selection.
+        boundary = rng.random(size=n) < 0.3
+        relative_sizes[boundary] = np.sqrt(delta)
+    return (ages, relative_sizes, delta)
+
+
+def _case_expand_deadlines(rng):
+    n = int(rng.integers(0, 40))
+    releases = np.sort(rng.uniform(0.0, 30.0, size=n))
+    flow_factors = rng.uniform(0.1, 10.0, size=n)
+    scale = float(rng.uniform(0.5, 20.0))
+    return (releases, flow_factors, scale)
+
+
+_CASE_BUILDERS = {
+    "mct_argmin_completion": _case_mct_argmin_completion,
+    "water_filling_completion": _case_water_filling_completion,
+    "plan_horizon_scan": _case_plan_horizon_scan,
+    "rank_by_priority": _case_rank_by_priority,
+    "pseudo_stretch_priorities": _case_pseudo_stretch_priorities,
+    "expand_deadlines": _case_expand_deadlines,
+}
+
+
+def _assert_bit_equal(actual, expected):
+    if isinstance(expected, tuple):
+        assert isinstance(actual, tuple) and len(actual) == len(expected)
+        for a, e in zip(actual, expected):
+            _assert_bit_equal(a, e)
+    elif isinstance(expected, np.ndarray):
+        assert np.asarray(actual).shape == expected.shape
+        assert np.array_equal(np.asarray(actual), expected)
+    else:
+        assert actual == expected
+
+
+def test_every_kernel_has_a_case_builder():
+    # A new kernel cannot land without its cross-tier equality coverage.
+    assert set(_CASE_BUILDERS) == set(kernels.KERNEL_NAMES)
+
+
+@pytest.mark.parametrize("tier", CANDIDATE_TIERS)
+@pytest.mark.parametrize("name", kernels.KERNEL_NAMES)
+def test_kernel_bit_equal_to_legacy(name, tier):
+    reference = kernels.kernel(name, "legacy")
+    candidate = kernels.kernel(name, tier)
+    for trial in range(N_TRIALS):
+        seed = 1000 * trial + kernels.KERNEL_NAMES.index(name)
+        args = _CASE_BUILDERS[name](_rng(seed))
+        _assert_bit_equal(candidate(*args), reference(*args))
+
+
+class TestTierDispatch:
+    def test_default_tier_matches_numba_availability(self):
+        expected = "numba" if kernels.HAVE_NUMBA else "numpy"
+        assert kernels._default_tier() == expected
+
+    def test_set_active_tier_round_trips(self):
+        initial = kernels.active_tier()
+        previous = kernels.set_active_tier("legacy")
+        try:
+            assert previous == initial
+            assert kernels.active_tier() == "legacy"
+        finally:
+            kernels.set_active_tier(initial)
+        assert kernels.active_tier() == initial
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel tier"):
+            kernels.set_active_tier("fortran")
+
+    def test_numba_tier_listed_only_when_importable(self):
+        assert ("numba" in kernels.available_tiers()) == kernels.HAVE_NUMBA
+
+    def test_empty_machine_set_rejected(self):
+        with pytest.raises(ValueError, match="at least one machine"):
+            kernels.water_filling_completion(
+                1.0, np.empty(0, dtype=np.float64), np.empty(0, dtype=np.float64)
+            )
+
+
+@pytest.mark.parametrize("tier", CANDIDATE_TIERS)
+def test_whole_run_bit_identical_across_tiers(tier):
+    platform_spec = PlatformSpec(
+        n_clusters=3, processors_per_cluster=4, n_databanks=3, availability=0.6
+    )
+    workload_spec = WorkloadSpec(density=2.0, window=25.0, max_jobs=15)
+    instance = generate_instance(platform_spec, workload_spec, rng=33)
+
+    def run():
+        completions = {}
+        for key in HEURISTIC_KEYS:
+            options = {"max_jobs_per_resolution": 8} if key == "bender98" else {}
+            scheduler = make_scheduler(key, **options)
+            completions[key] = simulate(instance, scheduler).completions
+        return completions
+
+    initial = kernels.set_active_tier("legacy")
+    try:
+        reference = run()
+        kernels.set_active_tier(tier)
+        candidate = run()
+    finally:
+        kernels.set_active_tier(initial)
+    assert candidate == reference
