@@ -17,9 +17,9 @@ from __future__ import annotations
 
 import argparse
 
+from repro.api import run_campaign
 from repro.experiments import (
     paper_configurations,
-    run_campaign,
     save_records_csv,
     table1,
     tables_by_density,

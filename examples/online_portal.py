@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import Instance, Job, Platform, make_scheduler, simulate
+from repro import Instance, Job, Platform
+from repro.api import simulate
 from repro.core.platform import Machine
 from repro.utils.textable import TextTable
 
@@ -74,7 +75,7 @@ def main() -> None:
         headers=["Policy", "max-stretch", "mean-stretch", "95th pct stretch", "sum-stretch"]
     )
     for key in policies:
-        result = simulate(instance, make_scheduler(key))
+        result = simulate(instance, key)
         stretches = result.stretches()
         per_job[result.scheduler_name] = stretches
         values = np.array(sorted(stretches.values()))

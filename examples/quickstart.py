@@ -13,7 +13,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Instance, Job, Machine, Platform, make_scheduler, simulate
+from repro import Instance, Job, Machine, Platform
+from repro.api import simulate
 from repro.utils.textable import TextTable
 
 
@@ -53,7 +54,7 @@ def main() -> None:
         headers=["Scheduler", "max-stretch", "sum-stretch", "max-flow (s)", "makespan (s)"]
     )
     for key in ["mct", "mct-div", "fcfs", "srpt", "swrpt", "offline", "online"]:
-        result = simulate(instance, make_scheduler(key))
+        result = simulate(instance, key)
         result.schedule.validate(instance)
         report = result.report()
         table.add_row(
@@ -64,7 +65,7 @@ def main() -> None:
     print()
 
     # Show what the LP-based on-line heuristic actually does over time.
-    result = simulate(instance, make_scheduler("online"), record_events=True)
+    result = simulate(instance, "online", record_events=True)
     print("Event trace of the Online heuristic:")
     for line in result.trace_lines():
         print(" ", line)

@@ -95,12 +95,24 @@ from repro.core import (
     WorkSlice,
     metrics,
 )
-from repro.simulation import SimulationResult, simulate
+from repro.simulation import SimulationResult
 from repro.schedulers import (
     available_schedulers,
     make_scheduler,
     paper_schedulers,
     register_scheduler,
+)
+from repro import api
+from repro.api import (
+    CampaignReport,
+    ExperimentConfig,
+    ExperimentResults,
+    MergeReport,
+    merge,
+    report,
+    run_campaign,
+    serve,
+    simulate,
 )
 
 __all__ = [
@@ -127,4 +139,13 @@ __all__ = [
     "register_scheduler",
     "available_schedulers",
     "paper_schedulers",
+    "api",
+    "run_campaign",
+    "merge",
+    "report",
+    "serve",
+    "CampaignReport",
+    "ExperimentConfig",
+    "ExperimentResults",
+    "MergeReport",
 ]

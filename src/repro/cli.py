@@ -36,6 +36,13 @@ Sub-commands
     from a (merged or serial) campaign journal::
 
         repro-stretch report merged.jsonl --output-dir campaign-report
+``serve``
+    Boot the streaming-arrival scheduler daemon (service mode): an HTTP
+    surface accepting submissions while the engine runs, live telemetry
+    (current ``S*``, per-databank queue depths, replan-latency
+    percentiles) and a replayable submission journal::
+
+        repro-stretch serve --scheduler online --port 8080 --journal run.jsonl
 ``figure3``
     Run the density sweep of Figure 3 and print both series.
 ``overhead``
@@ -58,41 +65,35 @@ from repro.experiments.config import (
     figure3_configurations,
     paper_configurations,
 )
+from repro import api
 from repro.core.errors import ReproError
 from repro.experiments.ab import run_backend_ab
 from repro.experiments.figures import run_figure3_sweep
 from repro.experiments.io import save_records_csv
-from repro.experiments.merge import (
-    generate_campaign_report,
-    merge_journals,
-    write_merged_journal,
-)
 from repro.experiments.overhead import (
     DEFAULT_OVERHEAD_SCHEDULERS,
     OVERHEAD_TABLE_HEADERS,
     scheduling_overhead,
 )
-from repro.experiments.runner import run_campaign
 from repro.experiments.sharding import parse_shard_spec
 from repro.experiments.tables import breakdown_tables, table1
 from repro.lp.backends import (
-    BACKEND_CHOICES,
     available_backends,
     highs_unavailable_reason,
     resolve_backend_name,
 )
+from repro.options import OnOff, SolverBackendChoice, enum_option
 from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import (
     LP_SOLVER_SCHEDULERS,
+    SERVICE_SCHEDULERS,
     available_schedulers,
-    make_scheduler,
     paper_schedulers,
 )
-from repro.simulation.engine import simulate
 from repro.theory.bounds import swrpt_competitive_gap
 from repro.theory.starvation import starvation_analysis
 from repro.utils.textable import TextTable
-from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance, generate_platform
 
 __all__ = ["main", "build_parser"]
 
@@ -140,8 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--workers", type=int, default=1)
     camp.add_argument(
         "--state-bank",
-        choices=("on", "off"),
-        default="on",
+        **enum_option(OnOff, OnOff.ON, param="--state-bank"),
         help="cross-run solver-state bank: share warm solver state across "
         "the on-line LP schedulers of each (config, replicate) group "
         "(content-addressed, so records stay bit-identical at any worker "
@@ -263,6 +263,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
 
+    srv = sub.add_parser(
+        "serve",
+        help="boot the streaming-arrival scheduler daemon (service mode)",
+    )
+    srv.add_argument(
+        "--scheduler",
+        default="online",
+        choices=sorted(SERVICE_SCHEDULERS),
+        metavar="KEY",
+        help="a service-safe scheduler (no whole-instance knowledge at "
+        "reset); default: the paper's on-line LP heuristic",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port for the HTTP surface; 0 (default) picks a free port "
+        "and prints it",
+    )
+    srv.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="journal every accepted submission to this replayable JSONL "
+        "trace (replaying it is bit-identical to batch simulation)",
+    )
+    srv.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="virtual seconds per wall-clock second for the admission "
+        "clock; 0 free-runs (as fast as the engine can step)",
+    )
+    srv.add_argument("--clusters", type=int, default=3)
+    srv.add_argument("--processors", type=int, default=10, help="processors per cluster")
+    srv.add_argument("--databanks", type=int, default=3)
+    srv.add_argument("--availability", type=float, default=0.6)
+    srv.add_argument("--seed", type=int, default=0, help="platform generation seed")
+    _add_replanning_arguments(srv)
+
     fig = sub.add_parser("figure3", help="run the Figure 3 density sweep")
     fig.add_argument("--replicates", type=int, default=3)
     fig.add_argument("--window", type=float, default=20.0)
@@ -342,8 +384,8 @@ def _add_replanning_arguments(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--solver-backend",
-        choices=BACKEND_CHOICES,
-        default="auto",
+        **enum_option(SolverBackendChoice, SolverBackendChoice.AUTO,
+                      param="--solver-backend"),
         help="LP solver backend for the LP-based schedulers: 'auto' "
         "(default: the persistent HiGHS backend -- live models with basis "
         "warm starts across milestone probes and replans -- when highspy "
@@ -354,8 +396,7 @@ def _add_replanning_arguments(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--speculate",
-        choices=("on", "off"),
-        default="off",
+        **enum_option(OnOff, OnOff.OFF, param="--speculate"),
         help="speculative replan pre-solves: during each inter-arrival gap "
         "the on-line LP heuristics pre-solve the predicted next replan so "
         "the arrival's LP work becomes a memo re-bind on correct "
@@ -381,7 +422,7 @@ def _online_options(args: argparse.Namespace) -> dict[str, dict[str, object]]:
         replan_policy=args.replan_policy,
         incremental_lp=not args.from_scratch,
         solver_backend=args.solver_backend,
-        speculation=getattr(args, "speculate", "off") == "on",
+        speculation=getattr(args, "speculate", OnOff.OFF),
     )
     return {
         key: options
@@ -427,8 +468,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     online_options = _online_options(args)
     for key in args.schedulers:
-        scheduler = make_scheduler(key, **online_options.get(key, {}))
-        result = simulate(instance, scheduler, record_events=args.trace)
+        result = api.simulate(
+            instance,
+            key,
+            scheduler_options=online_options.get(key),
+            record_events=args.trace,
+        )
         report = result.report()
         table.add_row(
             [
@@ -507,8 +552,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         replan_policy=args.replan_policy,
         incremental_lp=not args.from_scratch,
         solver_backend=args.solver_backend,
-        state_bank=args.state_bank == "on",
-        speculation=args.speculate == "on",
+        state_bank=args.state_bank,
+        speculation=args.speculate,
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
     computed = 0
@@ -561,7 +606,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"x {len(scheduler_keys)} schedulers{shard_note} ..."
     )
     try:
-        results = run_campaign(
+        results = api.run_campaign(
             configs,
             scheduler_keys=scheduler_keys,
             replicates=args.replicates,
@@ -607,20 +652,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def _cmd_merge(args: argparse.Namespace) -> int:
     try:
-        report = merge_journals(args.journals)
-    except ReproError as exc:
         # Integrity violations (foreign journals, mismatched shard plans,
-        # conflicting records) are hard errors: nothing is written.
+        # conflicting records, unwritable output) are hard errors.
+        report = api.merge(args.journals, output=args.output)
+    except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
     if args.output:
-        try:
-            path = write_merged_journal(report, args.output)
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        print(f"merged journal written to {path}")
+        print(f"merged journal written to {args.output}")
     if not report.complete and not args.allow_gaps:
         print(
             "error: coverage is incomplete (pass --allow-gaps to accept a "
@@ -633,7 +673,7 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
-        merged = merge_journals([args.journal])
+        merged = api.merge([args.journal])
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -645,22 +685,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    summary = generate_campaign_report(
-        merged.results,
-        args.output_dir,
-        meta=merged.meta,
-        coverage=merged.summary(),
-    )
-    print(table1(merged.results).render())
+    outcome = api.report(merged, args.output_dir, allow_gaps=args.allow_gaps)
+    print(table1(outcome.merged.results).render())
     if args.breakdowns:
-        for table in breakdown_tables(merged.results):
+        for table in breakdown_tables(outcome.merged.results):
             print()
             print(table.render())
     print()
     print(
         f"campaign report written to {args.output_dir} "
-        f"({summary['n_records']} records, {summary['n_failed']} failed)"
+        f"({outcome.summary['n_records']} records, "
+        f"{outcome.summary['n_failed']} failed)"
     )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = PlatformSpec(
+        n_clusters=args.clusters,
+        processors_per_cluster=args.processors,
+        n_databanks=args.databanks,
+        availability=args.availability,
+    )
+    platform, catalog = generate_platform(spec, rng=args.seed)
+    try:
+        server = api.serve(
+            platform,
+            scheduler=args.scheduler,
+            replan_policy=args.replan_policy,
+            incremental_lp=not args.from_scratch,
+            solver_backend=args.solver_backend,
+            speculation=args.speculate,
+            time_scale=args.time_scale,
+            journal=args.journal,
+            host=args.host,
+            port=args.port,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(platform.describe())
+    print(f"databanks: {', '.join(catalog.names())}")
+    print(f"serving on {server.url}")
+    print("  POST /submit     one JSON submission")
+    print("  POST /stream     a JSONL submission window")
+    print("  GET  /telemetry  live S*, queue depths, replan latencies")
+    print("  POST /drain      close submissions, finish, report metrics")
+    if args.journal:
+        print(f"journaling accepted submissions to {args.journal}")
+    # The banner must land before the (indefinite) serve loop even when
+    # stdout is a block-buffered pipe, or callers scripting the daemon
+    # never learn the ephemeral port.
+    sys.stdout.flush()
+    import time as _time
+
+    try:
+        while server.daemon.running:
+            _time.sleep(0.5)
+    except KeyboardInterrupt:
+        print("\nshutting down (draining admitted jobs) ...", file=sys.stderr)
+        server.daemon.close_submissions()
+        try:
+            server.daemon.join(timeout=60.0)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    finally:
+        server.shutdown()
     return 0
 
 
@@ -722,7 +813,7 @@ def _cmd_overhead(args: argparse.Namespace) -> int:
             replan_policy=args.replan_policy,
             incremental_lp=incremental,
             solver_backend=args.solver_backend,
-            speculation=args.speculate == "on",
+            speculation=bool(args.speculate),
             **kwargs,
         )
         for record in records:
@@ -779,6 +870,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "merge": _cmd_merge,
         "report": _cmd_report,
+        "serve": _cmd_serve,
         "figure3": _cmd_figure3,
         "overhead": _cmd_overhead,
         "theorem1": _cmd_theorem1,

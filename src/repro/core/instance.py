@@ -22,7 +22,7 @@ from repro.core.errors import ModelError
 from repro.core.job import Job, JobSet
 from repro.core.platform import CapabilityClass, Machine, Platform
 
-__all__ = ["Instance"]
+__all__ = ["Instance", "LiveInstance"]
 
 
 class Instance:
@@ -229,3 +229,47 @@ class Instance:
                 f"databank={bank} ideal={self.ideal_time(job.job_id):.3f}s"
             )
         return "\n".join(lines)
+
+
+class LiveInstance(Instance):
+    """An instance that grows as submissions are accepted (service mode).
+
+    The batch engine materializes every job up front; the streaming daemon
+    only learns about a job when it is submitted.  :class:`LiveInstance`
+    supports that by allowing jobs to be *admitted* after construction, under
+    one invariant that keeps it interchangeable with a batch
+    :class:`Instance`: admissions must come in non-decreasing
+    ``(release, job_id)`` order, so :attr:`jobs` is at all times exactly what
+    ``Instance(jobs_so_far, platform)`` would hold.  Everything downstream
+    that pins an order to the job sequence (LP column order, the replan
+    :class:`~repro.lp.problem.JobTable`) therefore sees the same order
+    whether the instance was materialized or grown.
+
+    The per-job caches of :class:`Instance` are keyed by job id, so admitting
+    new jobs never invalidates them.  A :class:`LiveInstance` is mutable and
+    must not be used as a dictionary key.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, platform: Platform, jobs: Iterable[Job] = ()):
+        super().__init__(jobs, platform)
+
+    def admit(self, job: Job) -> Job:
+        """Append ``job`` to the instance (validating feasibility and order)."""
+        if not self._platform.machines_hosting(job.databank):
+            raise ModelError(
+                f"job {job.job_id} targets databank {job.databank!r} "
+                f"which is hosted on no machine"
+            )
+        jobs = self._jobs
+        if len(jobs):
+            last = jobs[len(jobs) - 1]
+            if (job.release, job.job_id) < (last.release, last.job_id):
+                raise ModelError(
+                    f"job {job.job_id} admitted out of order: "
+                    f"(release={job.release}, id={job.job_id}) sorts before "
+                    f"(release={last.release}, id={last.job_id})"
+                )
+        self._jobs = JobSet(tuple(jobs) + (job,))
+        return job

@@ -22,7 +22,7 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.core.errors import ModelError
-from repro.lp.backends import BACKEND_CHOICES
+from repro.options import OnOff, SolverBackendChoice
 from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import LP_SOLVER_SCHEDULERS, ONLINE_LP_SCHEDULERS
 from repro.workload.generator import PlatformSpec, WorkloadSpec
@@ -90,9 +90,9 @@ class ExperimentConfig:
     max_jobs: int | None = None
     replan_policy: str = "on-arrival"
     incremental_lp: bool = True
-    solver_backend: str = "auto"
-    state_bank: bool = True
-    speculation: bool = False
+    solver_backend: "SolverBackendChoice | str" = SolverBackendChoice.AUTO
+    state_bank: "OnOff | bool | str" = OnOff.ON
+    speculation: "OnOff | bool | str" = OnOff.OFF
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -105,11 +105,23 @@ class ExperimentConfig:
             parse_policy(self.replan_policy)
         except ValueError as exc:
             raise ModelError(str(exc)) from None
-        if self.solver_backend not in BACKEND_CHOICES:
-            raise ModelError(
-                f"unknown solver backend {self.solver_backend!r}; "
-                f"choose from {', '.join(BACKEND_CHOICES)}"
+        # Normalize the typed toggles (the dataclass is frozen, hence the
+        # explicit __setattr__): booleans and legacy spellings are accepted
+        # on the way in, the stored values are always enum members.
+        try:
+            object.__setattr__(
+                self,
+                "solver_backend",
+                SolverBackendChoice.coerce(self.solver_backend, param="solver_backend"),
             )
+            object.__setattr__(
+                self, "state_bank", OnOff.coerce(self.state_bank, param="state_bank")
+            )
+            object.__setattr__(
+                self, "speculation", OnOff.coerce(self.speculation, param="speculation")
+            )
+        except ValueError as exc:
+            raise ModelError(str(exc)) from None
 
     # -- conversions -------------------------------------------------------------
     def platform_spec(self) -> PlatformSpec:
@@ -143,15 +155,15 @@ class ExperimentConfig:
         """
         options: dict[str, object] = {}
         if key in LP_SOLVER_SCHEDULERS:
-            options["solver_backend"] = self.solver_backend
+            options["solver_backend"] = str(self.solver_backend)
         if key in ONLINE_LP_SCHEDULERS:
             options["policy"] = self.replan_policy
             options["incremental"] = self.incremental_lp
             # A bool at this level; the campaign workers swap in their
             # resident SolverStateBank (OnlineLPScheduler ignores non-bank
             # values, so other call sites are unaffected).
-            options["state_bank"] = self.state_bank
-            options["speculate"] = self.speculation
+            options["state_bank"] = bool(self.state_bank)
+            options["speculate"] = bool(self.speculation)
         return options
 
     def as_dict(self) -> dict[str, float | int | str | bool | None]:
@@ -166,9 +178,11 @@ class ExperimentConfig:
             "max_jobs": self.max_jobs,
             "replan_policy": self.replan_policy,
             "incremental_lp": self.incremental_lp,
-            "solver_backend": self.solver_backend,
-            "state_bank": self.state_bank,
-            "speculation": self.speculation,
+            # The journal/checkpoint schema predates the typed toggles: keep
+            # emitting the historical primitives (str / bool).
+            "solver_backend": str(self.solver_backend),
+            "state_bank": bool(self.state_bank),
+            "speculation": bool(self.speculation),
         }
 
 

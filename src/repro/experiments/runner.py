@@ -70,6 +70,7 @@ from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.lp.backends import SolverBackend, make_backend, resolve_backend_name
 from repro.lp.bank import SolverStateBank
+from repro.options import DispatchMode
 from repro.schedulers.registry import make_scheduler, paper_schedulers
 from repro.simulation.engine import simulate
 from repro.utils.seeding import derive_seed
@@ -735,7 +736,7 @@ def run_campaign(
     resume: bool = False,
     max_in_flight: int | None = None,
     shard: "object | str | None" = None,
-    dispatch: str = "group",
+    dispatch: "DispatchMode | str" = DispatchMode.GROUP,
 ) -> ExperimentResults:
     """Run a whole campaign (all configurations x replicates x schedulers).
 
@@ -795,8 +796,10 @@ def run_campaign(
         baseline in benchmarks).  Both produce bit-identical record sets at
         every worker count.
     """
-    if dispatch not in ("group", "task"):
-        raise ReproError(f"unknown dispatch mode {dispatch!r} (group or task)")
+    try:
+        dispatch = DispatchMode.coerce(dispatch, param="dispatch")
+    except ValueError:
+        raise ReproError(f"unknown dispatch mode {dispatch!r} (group or task)") from None
     tasks = campaign_tasks(configs, scheduler_keys, replicates, base_seed)
 
     plan = None

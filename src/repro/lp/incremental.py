@@ -58,8 +58,9 @@ so acceptance logic in :mod:`repro.lp.maxstretch` is untouched.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.core.errors import ModelError
 from repro.core.instance import Instance
 from repro.lp.backends import (
     SolverBackend,
@@ -86,6 +87,9 @@ from repro.lp.problem import (
     problem_from_instance,
 )
 from repro.lp.relaxation import reoptimize_allocation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
 
 __all__ = ["ReplanContext"]
 
@@ -158,6 +162,7 @@ class ReplanContext:
         self.job_table: JobTable = build_job_table(
             instance, self.resources, self.eligibility
         )
+        self._table_ids: set[int] = {row[0] for row in self.job_table.rows}
         self.backend: SolverBackend = make_backend(solver_backend)
         # A caller-supplied backend instance may have served a previous run;
         # drop its live models/bases so warm starts never cross simulations
@@ -218,6 +223,52 @@ class ReplanContext:
             eligibility=self.eligibility,
             job_table=self.job_table,
         )
+
+    def ensure_jobs(self, jobs: "Sequence[Job]") -> None:
+        """Extend the replan fast path with jobs admitted after construction.
+
+        Batch mode builds the :class:`~repro.lp.problem.JobTable` from the
+        full instance up front, so this is a no-op there (every arriving job
+        is already a table row).  In service mode the instance *grows* as
+        submissions are accepted; the scheduler calls this from its arrival
+        hook so the table gains one row per admitted job, computed by the
+        exact expressions :func:`~repro.lp.problem.build_job_table` uses.
+        Jobs are admitted in ``(release, job_id)`` order (the
+        :class:`~repro.core.instance.LiveInstance` invariant), so a table
+        grown incrementally is bit-identical to one built from the final
+        instance restricted to the jobs seen so far -- which keeps service
+        replans bit-identical to their batch counterparts.
+        """
+        new_rows = []
+        for job in jobs:
+            if job.job_id in self._table_ids:
+                continue
+            eligible = self.eligibility.get(job.databank)
+            if eligible is None:
+                # First job targeting this databank: derive its eligible
+                # resource set exactly as build_eligibility would have.
+                eligible = tuple(
+                    r.index
+                    for r in self.resources
+                    if job.databank is None or job.databank in r.databanks
+                )
+                self.eligibility[job.databank] = eligible
+            if not eligible:
+                raise ModelError(f"job {job.job_id} has no eligible capability class")
+            new_rows.append(
+                (
+                    job.job_id,
+                    job.release,
+                    job.size,
+                    1.0 / self.instance.weight(job.job_id),
+                    eligible,
+                )
+            )
+            self._table_ids.add(job.job_id)
+        if new_rows:
+            # JobTable is frozen (its arrays() cache must match its rows);
+            # grow by replacement so the cache is rebuilt lazily.
+            self.job_table = JobTable(rows=self.job_table.rows + tuple(new_rows))
 
     # -- solves --------------------------------------------------------------------
     def solve_max_stretch(self, problem: MaxStretchProblem) -> MaxStretchSolution:

@@ -167,6 +167,15 @@ class OnlineLPScheduler(PlanBasedScheduler):
         self.n_resolutions = 0
         self._egdf_rank = {}
 
+    def on_arrivals(self, state: SchedulerState, jobs: Sequence[Job]) -> None:
+        if self._context is not None:
+            # Service mode admits jobs after reset; make sure the replan fast
+            # path has a row for each before any policy decision can trigger
+            # an LP resolution.  No-op in batch mode (the table is built from
+            # the full instance up front), so schedules are unchanged there.
+            self._context.ensure_jobs(jobs)
+        super().on_arrivals(state, jobs)
+
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
         # Kept for API compatibility (direct calls in tests/examples); the
         # policy-driven path goes through PlanBasedScheduler.on_arrivals.

@@ -40,6 +40,7 @@ __all__ = [
     "PAPER_TABLE1_ORDER",
     "ONLINE_LP_SCHEDULERS",
     "LP_SOLVER_SCHEDULERS",
+    "SERVICE_SCHEDULERS",
 ]
 
 #: Keys of the on-line LP heuristics -- the schedulers that accept the
@@ -60,6 +61,22 @@ ONLINE_LP_SCHEDULERS: tuple[str, ...] = (
 LP_SOLVER_SCHEDULERS: tuple[str, ...] = ONLINE_LP_SCHEDULERS + (
     "offline",
     "offline-sum",
+)
+
+#: Keys of the schedulers usable in *service mode* (streaming arrivals): any
+#: strategy that requires no whole-instance knowledge before the first
+#: arrival.  Excluded are the clairvoyant off-line optima and the Bender
+#: heuristics, whose reset reads the instance-wide job-size ratio Δ --
+#: information a daemon does not have when it boots.
+SERVICE_SCHEDULERS: tuple[str, ...] = ONLINE_LP_SCHEDULERS + (
+    "fcfs",
+    "srpt",
+    "spt",
+    "swpt",
+    "swrpt",
+    "edf",
+    "mct",
+    "mct-div",
 )
 
 SchedulerFactory = Callable[[], Scheduler]

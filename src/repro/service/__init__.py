@@ -1,0 +1,60 @@
+"""Service mode: the streaming-arrival scheduler daemon.
+
+The package turns the batch simulator into a resident service:
+
+* :mod:`repro.service.stream` -- the thread-fed
+  :class:`~repro.simulation.source.SubmissionSource` bridging ingestion
+  threads into the engine kernel;
+* :mod:`repro.service.ingest` -- JSON/JSONL decoding with per-record error
+  accounting;
+* :mod:`repro.service.trace` -- the replayable submission journal;
+* :mod:`repro.service.daemon` -- the resident engine plus the
+  replay-vs-batch bit-identity contract;
+* :mod:`repro.service.http` -- the stdlib HTTP surface
+  (``/submit``, ``/stream``, ``/telemetry``, ``/drain``);
+* :mod:`repro.service.smoke` -- the end-to-end CI smoke test.
+"""
+
+from repro.service.daemon import (
+    ReplayCheck,
+    SchedulerDaemon,
+    ServiceConfig,
+    batch_reference,
+    replay_trace,
+    verify_replay,
+)
+from repro.service.http import ServiceServer
+from repro.service.ingest import (
+    IngestReport,
+    RecordError,
+    SubmissionRequest,
+    ingest_lines,
+    parse_submission,
+)
+from repro.service.stream import StreamingSource
+from repro.service.trace import (
+    ServiceError,
+    SubmissionTrace,
+    TraceWriter,
+    read_trace,
+)
+
+__all__ = [
+    "ServiceError",
+    "ServiceConfig",
+    "SchedulerDaemon",
+    "ServiceServer",
+    "StreamingSource",
+    "SubmissionRequest",
+    "SubmissionTrace",
+    "TraceWriter",
+    "IngestReport",
+    "RecordError",
+    "ReplayCheck",
+    "ingest_lines",
+    "parse_submission",
+    "read_trace",
+    "replay_trace",
+    "batch_reference",
+    "verify_replay",
+]

@@ -1,0 +1,185 @@
+"""The live submission source: a thread-fed bridge into the engine kernel.
+
+The daemon runs the simulation engine on its own thread; ingestion threads
+(HTTP handlers, JSONL readers) hand submissions to a :class:`StreamingSource`
+which the engine pulls through the :class:`~repro.simulation.source.SubmissionSource`
+protocol.  One lock/condition pair guards everything, which closes the
+admission race by construction: a release date is assigned *and* the job
+appended to the pending list atomically with respect to the engine's pulls,
+so the engine can never commit to advancing past a release it has not seen.
+
+Two clock disciplines are supported:
+
+* ``time_scale > 0`` -- *paced*: virtual time tracks the wall clock
+  (``virtual = elapsed * time_scale``).  A bounded ``pull`` blocks until the
+  wall clock reaches the requested horizon, which is what paces the engine;
+  submissions arriving meanwhile wake it early and are admitted at the
+  current virtual time.
+* ``time_scale = 0`` -- *free-run*: virtual time races ahead as fast as the
+  engine can step; a submission is admitted at the engine's current
+  committed *floor* (the largest horizon the engine has synced past).  This
+  is the mode the smoke test and the deterministic tests use.
+
+Either way releases are monotone non-decreasing in admission order, which is
+the :class:`~repro.core.instance.LiveInstance` invariant and what keeps the
+journaled trace replayable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time as _time
+from typing import TYPE_CHECKING, Callable
+
+from repro.service.trace import ServiceError
+from repro.simulation.clock import SIMULTANEITY_TOL, EventQueue
+from repro.simulation.source import SubmissionSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+
+__all__ = ["StreamingSource"]
+
+#: How often a parked engine re-checks its condition (seconds).  Purely a
+#: liveness backstop -- submissions and close() notify the condition -- so
+#: the exact value only bounds shutdown latency on missed wakeups.
+_POLL_SECONDS = 0.1
+
+
+class StreamingSource(SubmissionSource):
+    """Thread-safe submission source for the scheduler daemon.
+
+    Parameters
+    ----------
+    time_scale:
+        Virtual seconds per wall-clock second; ``0`` free-runs (see module
+        docstring).
+    on_pull:
+        Optional callback invoked (outside the lock) at every engine pull;
+        the daemon uses it to refresh its telemetry snapshot from the engine
+        thread, where the simulation state may be read consistently.
+    clock:
+        Wall-clock source (monotonic seconds); injectable for tests.
+    """
+
+    def __init__(
+        self,
+        *,
+        time_scale: float = 0.0,
+        on_pull: Callable[[], None] | None = None,
+        clock: Callable[[], float] = _time.monotonic,
+    ):
+        if time_scale < 0:
+            raise ServiceError(f"time_scale must be >= 0, got {time_scale}")
+        self.time_scale = float(time_scale)
+        self._clock = clock
+        self._on_pull = on_pull
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: "list[Job]" = []
+        self._closed = False
+        self._floor = 0.0
+        self._started_at: float | None = None
+
+    # -- ingestion side (any thread) ----------------------------------------------
+    def submit(self, build_job: "Callable[[float], Job]") -> "Job":
+        """Admit one submission: assign its release date and stage it.
+
+        ``build_job`` receives the assigned release date and must return the
+        finished :class:`~repro.core.job.Job`; it runs *under the source
+        lock*, so whatever bookkeeping it does (growing the live instance,
+        journaling) is complete before the engine can possibly see the job.
+        If it raises, nothing was staged.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceError("the submission stream is closed")
+            release = max(self._floor, self._virtual_now_locked())
+            job = build_job(release)
+            if job.release != release:  # pragma: no cover - defensive
+                raise ServiceError(
+                    f"build_job must use the assigned release {release}, "
+                    f"got {job.release}"
+                )
+            self._pending.append(job)
+            self._cond.notify_all()
+            return job
+
+    def close(self) -> None:
+        """No further submissions; the engine drains what is pending and stops."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def virtual_now(self) -> float:
+        """The admission clock's current virtual time (telemetry)."""
+        with self._lock:
+            return max(self._floor, self._virtual_now_locked())
+
+    def pending_count(self) -> int:
+        """Submissions staged but not yet pulled by the engine (telemetry)."""
+        with self._lock:
+            return len(self._pending)
+
+    # -- engine side (the simulation thread) ----------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        with self._lock:
+            return self._closed and not self._pending
+
+    def start(self, queue: EventQueue) -> None:
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self._clock()
+
+    def pull(self, now: float, until: float) -> "list[Job]":
+        if self._on_pull is not None:
+            # Outside the lock: the callback reads engine state and takes
+            # the daemon's own telemetry lock.
+            self._on_pull()
+        with self._cond:
+            while True:
+                limit = until + SIMULTANEITY_TOL
+                ready = [job for job in self._pending if job.release <= limit]
+                if ready:
+                    self._pending = [
+                        job for job in self._pending if job.release > limit
+                    ]
+                    return ready
+                if self._closed:
+                    # Drain mode: no pacing, no floor bookkeeping -- nothing
+                    # can be admitted anymore.
+                    return []
+                if math.isinf(until):
+                    # Parked: nothing active, nothing queued.  Wait for a
+                    # submission or close; the timeout is a liveness backstop.
+                    self._cond.wait(timeout=_POLL_SECONDS)
+                    continue
+                if self.time_scale <= 0:
+                    # Free-run: commit the horizon.  Submissions from now on
+                    # are admitted at or after ``until`` (the engine is about
+                    # to advance there), keeping releases monotone.
+                    self._floor = max(self._floor, until)
+                    return []
+                # Paced: block until the wall clock reaches the horizon (or
+                # a submission lands first and the loop re-checks).
+                virtual = self._virtual_now_locked()
+                if virtual >= until:
+                    self._floor = max(self._floor, until)
+                    return []
+                wall_wait = (until - virtual) / self.time_scale
+                self._cond.wait(timeout=min(wall_wait, _POLL_SECONDS))
+
+    # -- internals -------------------------------------------------------------------
+    def _virtual_now_locked(self) -> float:
+        if self.time_scale <= 0:
+            return self._floor
+        if self._started_at is None:
+            return 0.0
+        return (self._clock() - self._started_at) * self.time_scale

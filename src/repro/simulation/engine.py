@@ -36,6 +36,7 @@ from repro.lp.backends import record_lp_probes
 from repro.simulation.clock import EventQueue, EventType, SimulationClock
 from repro.simulation.events import ArrivalEvent, CompletionEvent, DecisionEvent, SimulationEvent
 from repro.simulation.result import SimulationResult
+from repro.simulation.source import InstanceSource, SubmissionSource
 from repro.simulation.state import Assignment, SchedulerState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,7 +63,16 @@ class SimulationEngine:
     max_steps:
         Safety bound on the number of simulation steps before declaring a
         live-lock.  ``None`` (default) derives a generous bound from the
-        instance size; tests inject small values to exercise the guard.
+        number of admitted jobs; tests inject small values to exercise the
+        guard.
+    source:
+        Where arrivals come from (see :mod:`repro.simulation.source`).
+        ``None`` (default) is batch mode: every arrival of ``instance`` is
+        queued up front through an :class:`InstanceSource`, and the engine
+        never consults the source again.  A non-exhausted source (trace
+        replay, live daemon) is instead *pulled* before every virtual-time
+        advance, so externally submitted jobs become visible exactly at
+        their release dates.
     """
 
     def __init__(
@@ -72,6 +82,7 @@ class SimulationEngine:
         *,
         record_events: bool = False,
         max_steps: int | None = None,
+        source: SubmissionSource | None = None,
     ):
         self.instance = instance
         self.scheduler = scheduler
@@ -80,6 +91,15 @@ class SimulationEngine:
         self.clock = SimulationClock()
         self.queue = EventQueue()
         self.max_steps = max_steps
+        self.source: SubmissionSource = (
+            source if source is not None else InstanceSource(instance)
+        )
+        #: LP probe statistics of the in-flight run (live telemetry surface);
+        #: set by :meth:`run`, also attached to the returned result.
+        self.lp_stats = None
+        #: Mapping of the most recent applied assignment (live telemetry).
+        self.last_assignment: dict[int, int] = {}
+        self._jobs_admitted = 0
         self._slices: list[WorkSlice] = []
         self._events: list[SimulationEvent] = []
         self._scheduler_time = 0.0
@@ -96,35 +116,37 @@ class SimulationEngine:
         surface of the Section 5.3 overhead experiment.
         """
         with record_lp_probes() as lp_stats:
+            self.lp_stats = lp_stats
             result = self._run()
         result.lp_probes = lp_stats
         return result
 
     def _run(self) -> SimulationResult:
         instance, state = self.instance, self.state
-        n_jobs = len(instance.jobs)
-        for job in instance.jobs:  # already sorted by release date
-            self.queue.push_arrival(job)
+        source = self.source
+        source.start(self.queue)
+        self._jobs_admitted = len(self.queue)
 
         start = _time.perf_counter()
         self._call(self.scheduler.reset, instance)
         self._scheduler_time += _time.perf_counter() - start
 
-        self.clock = SimulationClock(self.queue.next_time() if n_jobs else 0.0)
+        if len(self.queue) == 0 and not source.exhausted:
+            # Externally fed run: park until the first submission so the
+            # virtual clock starts at its release date, exactly as the batch
+            # path starts at the earliest queued arrival.
+            self._sync_submissions(math.inf)
+
+        self.clock = SimulationClock(self.queue.next_time() if len(self.queue) else 0.0)
         state.time = self.clock.now
         stall_count = 0
-        # Generous safety bound: every event (arrival, completion, plan
-        # breakpoint) should trigger a handful of steps at most.
-        max_steps = self.max_steps
-        if max_steps is None:
-            max_steps = 1000 + 200 * (n_jobs + 1) * (len(instance.platform) + 1)
         steps = 0
 
         while True:
             steps += 1
-            if steps > max_steps:
+            if steps > self._step_limit():
                 raise ScheduleError(
-                    f"simulation exceeded {max_steps} steps; the scheduler "
+                    f"simulation exceeded {self._step_limit()} steps; the scheduler "
                     f"({self.scheduler.name}) appears to be live-locked"
                 )
 
@@ -146,6 +168,11 @@ class SimulationEngine:
 
             # 2. Termination / idle handling.
             if not state.active:
+                if not source.exhausted:
+                    # Before jumping (or waiting forever), let the source
+                    # deliver anything due first -- a live source parks the
+                    # engine here while the system is empty.
+                    next_event = self._sync_submissions(next_event)
                 if math.isinf(next_event):
                     break
                 self._timed(self.scheduler.on_idle, state, next_event)
@@ -158,6 +185,7 @@ class SimulationEngine:
                 assignment = Assignment.idle()
             self._validate_assignment(assignment)
             self._n_decisions += 1
+            self.last_assignment = assignment.mapping
             if self.record_events:
                 self._events.append(
                     DecisionEvent(
@@ -185,6 +213,16 @@ class SimulationEngine:
                 horizon,
                 _earliest_completion(rate_arr, remaining_arr, state.time),
             )
+
+            if not source.exhausted:
+                # The engine is about to commit to advancing to ``step_end``;
+                # give the source a chance to deliver submissions released at
+                # or before that date first.  The horizon is only ever
+                # *tightened* here (never split after the fact), so the
+                # fluid kernel's float accumulation is unchanged -- the key
+                # to bit-identical trace replay.
+                next_event = self._sync_submissions(step_end)
+                step_end = min(step_end, next_event)
 
             if math.isinf(step_end):
                 # Nothing is running and nothing will ever arrive: the
@@ -236,6 +274,36 @@ class SimulationEngine:
         )
 
     # -- internals --------------------------------------------------------------------
+    def _step_limit(self) -> int:
+        """The live-lock step bound.
+
+        Generous: every event (arrival, completion, plan breakpoint) should
+        trigger a handful of steps at most.  Derived from the *admitted* job
+        count, so an externally fed run's allowance grows with its intake
+        (batch mode admits everything up front and reproduces the historical
+        bound exactly).
+        """
+        if self.max_steps is not None:
+            return self.max_steps
+        return 1000 + 200 * (self._jobs_admitted + 1) * (len(self.instance.platform) + 1)
+
+    def _sync_submissions(self, until: float) -> float:
+        """Pull the source until no submission is due at or before ``until``.
+
+        Newly delivered jobs are queued as arrivals and shrink ``until`` to
+        the earliest of them, so the fixed point guarantees that when this
+        returns, the source holds nothing the engine is about to step over.
+        Returns the queue's next event date.
+        """
+        while True:
+            jobs = self.source.pull(self.state.time, until)
+            if not jobs:
+                return self.queue.next_time()
+            for job in jobs:
+                self.queue.push_arrival(job)
+            self._jobs_admitted += len(jobs)
+            until = min(until, self.queue.next_time())
+
     def _validate_assignment(self, assignment: Assignment) -> None:
         state = self.state
         for machine_id, job_id in assignment.mapping.items():

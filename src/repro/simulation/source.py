@@ -1,0 +1,142 @@
+"""Submission sources: who feeds the engine's event queue.
+
+Historically the engine materialized its whole event queue from the instance
+before the first step -- batch mode.  Service mode needs the opposite: jobs
+become known only when an external client submits them, possibly while the
+simulation is already running.  :class:`SubmissionSource` is the seam between
+the two.  The engine interacts with its source at three points:
+
+* :meth:`SubmissionSource.start` -- once, before the scheduler's ``reset``;
+  batch mode pushes every arrival here and is done.
+* :meth:`SubmissionSource.pull` -- before the engine commits to advancing
+  virtual time to some date ``until``, it asks the source for every
+  submission whose release falls at or before that date.  The engine loops
+  until the source returns nothing new, shrinking ``until`` to the earliest
+  newly queued arrival each round, so no step ever runs past an arrival the
+  source already knows about.  Because steps are never *split* for pacing --
+  the horizon is only ever tightened before the step executes -- the
+  float-accumulation order of the fluid kernel is untouched, which is what
+  makes trace replay bit-identical to batch simulation.
+* :attr:`SubmissionSource.exhausted` -- ``True`` once the source can never
+  deliver again; batch mode is exhausted from the start, so the engine skips
+  every ``pull`` and the batch path stays call-for-call identical to the
+  pre-service engine.
+
+Two sources live here: :class:`InstanceSource` (batch) and
+:class:`TraceSource` (replaying a journaled submission sequence through the
+incremental-delivery machinery).  The live, thread-fed
+:class:`~repro.service.stream.StreamingSource` belongs to the service layer.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.instance import Instance, LiveInstance
+from repro.simulation.clock import SIMULTANEITY_TOL, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.job import Job
+
+__all__ = ["SubmissionSource", "InstanceSource", "TraceSource"]
+
+
+class SubmissionSource(ABC):
+    """Feeds job arrivals into the engine's event queue."""
+
+    @property
+    @abstractmethod
+    def exhausted(self) -> bool:
+        """True when no further submission can ever be delivered.
+
+        The engine stops consulting an exhausted source; termination then
+        rests solely on the event queue and the active set, exactly as in
+        batch mode.
+        """
+
+    @abstractmethod
+    def start(self, queue: EventQueue) -> None:
+        """Called once before the simulation starts (before scheduler reset)."""
+
+    @abstractmethod
+    def pull(self, now: float, until: float) -> "list[Job]":
+        """Deliver submissions with release date at or before ``until``.
+
+        ``now`` is the engine's current virtual time; ``until`` is the date
+        the engine intends to advance to next (``inf`` when it would
+        otherwise wait forever).  Implementations may block -- a live source
+        uses exactly this call to pace virtual time against the wall clock
+        and to park the engine while the system is idle -- but must
+        eventually return.  An empty list means "nothing (more) at or before
+        ``until``"; the engine then commits to the step.  Deliveries must be
+        sorted by ``(release, job_id)`` and releases must be non-decreasing
+        across calls.
+        """
+
+
+class InstanceSource(SubmissionSource):
+    """Batch mode: every arrival of a materialized instance, queued up front."""
+
+    def __init__(self, instance: Instance):
+        self.instance = instance
+
+    @property
+    def exhausted(self) -> bool:
+        return True
+
+    def start(self, queue: EventQueue) -> None:
+        for job in self.instance.jobs:  # already sorted by release
+            queue.push_arrival(job)
+
+    def pull(self, now: float, until: float) -> "list[Job]":  # pragma: no cover
+        return []
+
+
+class TraceSource(SubmissionSource):
+    """Replay a recorded submission sequence through the service-mode path.
+
+    Unlike :class:`InstanceSource` this delivers jobs *incrementally*, one
+    ``pull`` at a time, and (when given a :class:`~repro.core.instance.LiveInstance`)
+    admits each job into the growing instance at the moment it is delivered
+    -- the exact code path a live daemon exercises, minus the wall clock.
+    Replaying a trace therefore validates the whole service loop against the
+    batch engine: both must produce bit-identical schedules.
+    """
+
+    def __init__(self, jobs: "Sequence[Job]", live_instance: LiveInstance | None = None):
+        self._jobs = sorted(jobs, key=lambda job: (job.release, job.job_id))
+        self._cursor = 0
+        self._live = live_instance
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._jobs)
+
+    def start(self, queue: EventQueue) -> None:
+        return None
+
+    def pull(self, now: float, until: float) -> "list[Job]":
+        jobs = self._jobs
+        i = self._cursor
+        if i >= len(jobs):
+            return []
+        if math.isinf(until):
+            # Parked engine: deliver the next simultaneous batch, wherever
+            # its release falls.
+            limit = jobs[i].release + SIMULTANEITY_TOL
+        else:
+            # Same tolerance as EventQueue.pop_due: an arrival within the
+            # simultaneity slack of the step end would have been popped with
+            # it in batch mode, so it must be visible before the step runs.
+            limit = until + SIMULTANEITY_TOL
+        delivered: "list[Job]" = []
+        while i < len(jobs) and jobs[i].release <= limit:
+            job = jobs[i]
+            if self._live is not None:
+                self._live.admit(job)
+            delivered.append(job)
+            i += 1
+        self._cursor = i
+        return delivered

@@ -1,0 +1,404 @@
+"""Tests of the service layer: daemon, ingestion robustness, trace replay, HTTP.
+
+The headline contracts:
+
+* every trace the daemon journals replays bit-identically to batch
+  ``simulate()`` on the reconstructed instance (under ``on-arrival`` AND
+  ``batched:D`` replanning);
+* malformed/duplicate JSONL lines are rejected with per-record error
+  accounting, never kill the daemon and never perturb admitted jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+from repro.service import (
+    SchedulerDaemon,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+    SubmissionRequest,
+    SubmissionTrace,
+    batch_reference,
+    ingest_lines,
+    parse_submission,
+    read_trace,
+    replay_trace,
+    verify_replay,
+)
+from repro.service.trace import TraceWriter
+
+
+def small_platform() -> Platform:
+    return Platform(
+        [
+            Machine(0, cycle_time=0.5, cluster_id=0, databanks=frozenset({"sp", "nt"})),
+            Machine(1, cycle_time=0.5, cluster_id=0, databanks=frozenset({"sp", "nt"})),
+            Machine(2, cycle_time=1.0, cluster_id=1, databanks=frozenset({"pdb", "nt"})),
+        ]
+    )
+
+
+def make_trace(scheduler="online", options=None, jobs=None) -> SubmissionTrace:
+    if jobs is None:
+        jobs = [
+            Job(0, release=0.0, size=6.0, databank="sp"),
+            Job(1, release=0.5, size=2.0, databank="pdb"),
+            Job(2, release=2.0, size=3.0, databank="nt"),
+            Job(3, release=2.0, size=1.0, databank="sp"),
+            Job(4, release=9.0, size=4.0, databank="nt"),
+        ]
+    return SubmissionTrace(
+        platform=small_platform(),
+        scheduler=scheduler,
+        scheduler_options=options or {},
+        jobs=jobs,
+    )
+
+
+class TestTraceRoundTrip:
+    def test_write_read_round_trip_is_exact(self, tmp_path):
+        trace = make_trace(options={"policy": "batched:1.5", "incremental": True})
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path, trace) as writer:
+            for job in trace.jobs:
+                writer.append(job)
+        loaded = read_trace(path)
+        assert loaded.scheduler == trace.scheduler
+        assert loaded.scheduler_options == trace.scheduler_options
+        assert loaded.platform == trace.platform
+        assert loaded.jobs == trace.jobs  # exact float round-trip
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.jsonl"
+        with TraceWriter(path, trace) as writer:
+            for job in trace.jobs:
+                writer.append(job)
+        raw = path.read_text()
+        path.write_text(raw.rstrip("\n")[:-7])  # kill mid-record
+        loaded = read_trace(path)
+        assert [j.job_id for j in loaded.jobs] == [0, 1, 2, 3]
+
+    def test_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(ServiceError, match="not a repro-service-trace"):
+            read_trace(path)
+
+    def test_unsupported_version_raises(self, tmp_path):
+        trace = make_trace()
+        header = trace.header()
+        header["version"] = 99
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ServiceError, match="unsupported version"):
+            read_trace(path)
+
+    def test_malformed_record_raises(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(trace.header()) + "\n" + "{broken\n" + "x\n")
+        with pytest.raises(ServiceError, match="malformed record at line 2"):
+            read_trace(path)
+
+
+class TestReplayContract:
+    @pytest.mark.parametrize(
+        "scheduler,options",
+        [
+            ("online", {"policy": "on-arrival"}),
+            ("online", {"policy": "batched:2"}),
+            ("online-edf", {"policy": "on-arrival"}),
+            ("online-egdf", {"policy": "batched:1"}),
+            ("swrpt", {}),
+            ("fcfs", {}),
+        ],
+    )
+    def test_replay_is_bit_identical_to_batch(self, scheduler, options):
+        trace = make_trace(scheduler=scheduler, options=options)
+        check = verify_replay(trace)
+        assert check.identical, check.detail
+
+    def test_replay_and_batch_results_are_full_objects(self):
+        trace = make_trace(scheduler="srpt")
+        replay = replay_trace(trace)
+        batch = batch_reference(trace)
+        assert replay.completions == batch.completions
+        assert replay.max_stretch == batch.max_stretch
+
+
+class TestIngestValidation:
+    def test_parse_submission_happy_path(self):
+        request = parse_submission(
+            {"size": 3.5, "databank": "sp", "weight": 2.0, "name": "x",
+             "client_id": "c1"}
+        )
+        assert request == SubmissionRequest(
+            size=3.5, databank="sp", weight=2.0, name="x", client_id="c1"
+        )
+
+    @pytest.mark.parametrize(
+        "payload,match",
+        [
+            ([1, 2], "JSON object"),
+            ({"databank": "sp"}, "missing required field 'size'"),
+            ({"size": "big"}, "'size' must be a number"),
+            ({"size": True}, "'size' must be a number"),
+            ({"size": -1.0}, "positive finite"),
+            ({"size": float("nan")}, "positive finite"),
+            ({"size": 1.0, "databank": 3}, "'databank' must be a string"),
+            ({"size": 1.0, "weight": -2}, "'weight' must be positive"),
+            ({"size": 1.0, "databnak": "sp"}, "unknown fields: databnak"),
+            ({"size": 1.0, "client_id": 7}, "'client_id' must be a string"),
+        ],
+    )
+    def test_parse_submission_rejections(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            parse_submission(payload)
+
+    def test_ingest_lines_accounts_per_record(self):
+        admitted = []
+
+        def admit(request):
+            if request.databank == "bad":
+                raise ValueError("unhosted")
+            admitted.append(request)
+            return len(admitted) - 1, 0.0
+
+        lines = [
+            json.dumps({"size": 1.0, "databank": "sp"}),
+            "not json at all",
+            "",  # blank lines are skipped silently
+            json.dumps({"size": 2.0, "databank": "bad"}),
+            json.dumps({"size": "NaN"}),
+            json.dumps({"size": 3.0}),
+        ]
+        report = ingest_lines(lines, admit)
+        assert report.accepted == 2
+        assert report.rejected == 3
+        assert [e.line_no for e in report.errors] == [2, 4, 5]
+        assert [a[0] for a in report.admissions] == [1, 6]
+        assert len(admitted) == 2
+
+
+def drain(daemon: SchedulerDaemon):
+    daemon.close_submissions()
+    return daemon.join(timeout=60.0)
+
+
+class TestDaemon:
+    def test_lifecycle_and_journal_replay(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        daemon = SchedulerDaemon(
+            small_platform(),
+            ServiceConfig(scheduler="online", journal=str(journal)),
+        )
+        daemon.start()
+        ids = [
+            daemon.submit(SubmissionRequest(size=5.0, databank="sp"))[0],
+            daemon.submit(SubmissionRequest(size=2.0, databank="pdb"))[0],
+            daemon.submit(SubmissionRequest(size=3.0, databank="nt"))[0],
+        ]
+        assert ids == [0, 1, 2]
+        result = drain(daemon)
+        assert sorted(result.completions) == [0, 1, 2]
+        trace = read_trace(journal)
+        assert len(trace) == 3
+        check = verify_replay(trace)
+        assert check.identical, check.detail
+
+    @pytest.mark.parametrize("policy", ["on-arrival", "batched:1"])
+    def test_journal_replay_across_policies(self, tmp_path, policy):
+        journal = tmp_path / "run.jsonl"
+        daemon = SchedulerDaemon(
+            small_platform(),
+            ServiceConfig(
+                scheduler="online", replan_policy=policy, journal=str(journal)
+            ),
+        )
+        daemon.start()
+        for size, bank in [(4.0, "sp"), (1.5, "pdb"), (2.5, "nt"), (0.5, "sp")]:
+            daemon.submit(SubmissionRequest(size=size, databank=bank))
+        drain(daemon)
+        trace = read_trace(journal)
+        assert trace.scheduler_options["policy"] == policy
+        check = verify_replay(trace)
+        assert check.identical, check.detail
+
+    def test_rejections_do_not_perturb_admitted_jobs(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        daemon = SchedulerDaemon(
+            small_platform(),
+            ServiceConfig(scheduler="online", journal=str(journal)),
+        )
+        daemon.start()
+        daemon.submit(SubmissionRequest(size=5.0, databank="sp", client_id="a"))
+        window = [
+            json.dumps({"size": 2.0, "databank": "pdb", "client_id": "b"}),
+            "{malformed",
+            json.dumps({"size": 1.0, "databank": "unhosted-bank"}),
+            json.dumps({"size": 1.0, "databank": "nt", "client_id": "a"}),  # dup
+            json.dumps({"size": 9.0, "wat": 1}),
+            json.dumps({"size": 3.0, "databank": "nt", "client_id": "c"}),
+        ]
+        report = daemon.ingest(window)
+        assert report.accepted == 2
+        assert report.rejected == 4
+        reasons = " | ".join(e.reason for e in report.errors)
+        assert "malformed JSON" in reasons
+        assert "hosted on no machine" in reasons
+        assert "duplicate client_id" in reasons
+        assert "unknown fields" in reasons
+        # The daemon survives and the admitted jobs complete untouched.
+        assert daemon.running
+        result = drain(daemon)
+        assert sorted(result.completions) == [0, 1, 2]
+        # And the journaled trace holds exactly the accepted submissions.
+        trace = read_trace(journal)
+        assert [j.job_id for j in trace.jobs] == [0, 1, 2]
+        assert verify_replay(trace).identical
+
+    def test_telemetry_document_shape(self):
+        daemon = SchedulerDaemon(small_platform(), ServiceConfig())
+        daemon.start()
+        daemon.submit(SubmissionRequest(size=2.0, databank="sp"))
+        telemetry = daemon.telemetry()
+        for key in (
+            "scheduler", "running", "accepted", "rejected", "pending",
+            "virtual_now", "lp", "time", "n_active", "n_completed",
+            "queue_depth_by_databank", "max_stretch_objective", "assignment",
+        ):
+            assert key in telemetry, key
+        for key in (
+            "n_probes", "histogram", "n_replans", "replan_latency_p50",
+            "replan_latency_p90", "replan_latency_p99", "speculation_hit_rate",
+        ):
+            assert key in telemetry["lp"], key
+        assert telemetry["accepted"] == 1
+        json.dumps(daemon.telemetry())  # JSON-serializable as served
+        drain(daemon)
+
+    def test_submit_after_close_is_rejected(self):
+        daemon = SchedulerDaemon(small_platform(), ServiceConfig())
+        daemon.start()
+        daemon.submit(SubmissionRequest(size=1.0, databank="sp"))
+        daemon.close_submissions()
+        with pytest.raises(ServiceError, match="closed"):
+            daemon.submit(SubmissionRequest(size=1.0, databank="sp"))
+        daemon.join(timeout=60.0)
+
+    def test_empty_run_drains_cleanly(self):
+        daemon = SchedulerDaemon(small_platform(), ServiceConfig(scheduler="fcfs"))
+        daemon.start()
+        result = drain(daemon)
+        assert result.completions == {}
+
+    def test_config_rejects_clairvoyant_schedulers(self):
+        for key in ("offline", "offline-sum", "bender98", "bender02"):
+            with pytest.raises(ServiceError, match="not service-safe"):
+                ServiceConfig(scheduler=key)
+
+    def test_config_rejects_bad_policy_and_backend(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(replan_policy="whenever")
+        with pytest.raises(ServiceError):
+            ServiceConfig(solver_backend="cplex")
+        with pytest.raises(ServiceError):
+            ServiceConfig(time_scale=-1.0)
+
+
+def http_json(url: str, data: bytes | None = None, method: str | None = None):
+    request = urllib.request.Request(
+        url, data=data, method=method or ("POST" if data is not None else "GET")
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestHttpSurface:
+    def test_full_http_session(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        daemon = SchedulerDaemon(
+            small_platform(), ServiceConfig(journal=str(journal))
+        )
+        with ServiceServer(daemon) as server:
+            status, reply = http_json(
+                f"{server.url}/submit",
+                json.dumps({"size": 4.0, "databank": "sp"}).encode(),
+            )
+            assert status == 200 and reply == {"job_id": 0, "release": 0.0}
+
+            window = "\n".join(
+                [
+                    json.dumps({"size": 2.0, "databank": "pdb"}),
+                    "{oops",
+                    json.dumps({"size": 1.0, "databank": "nt"}),
+                ]
+            )
+            status, report = http_json(f"{server.url}/stream", window.encode())
+            assert status == 200
+            assert report["accepted"] == 2 and report["rejected"] == 1
+            assert report["errors"][0]["line"] == 2
+
+            status, telemetry = http_json(f"{server.url}/telemetry")
+            assert status == 200
+            assert telemetry["accepted"] == 3 and telemetry["rejected"] == 1
+
+            status, reply = http_json(
+                f"{server.url}/submit", json.dumps({"size": -2}).encode()
+            )
+            assert status == 400
+
+            status, drained = http_json(f"{server.url}/drain", b"", method="POST")
+            assert status == 200
+            assert drained["status"] == "drained" and drained["n_jobs"] == 3
+
+            # After the drain the stream is closed: submissions get 503.
+            status, reply = http_json(
+                f"{server.url}/submit",
+                json.dumps({"size": 1.0, "databank": "sp"}).encode(),
+            )
+            assert status == 503
+
+            status, reply = http_json(f"{server.url}/nope")
+            assert status == 404
+        assert verify_replay(read_trace(journal)).identical
+
+    def test_duplicate_client_id_gets_409(self):
+        daemon = SchedulerDaemon(small_platform(), ServiceConfig())
+        with ServiceServer(daemon) as server:
+            body = json.dumps(
+                {"size": 1.0, "databank": "sp", "client_id": "once"}
+            ).encode()
+            status, _ = http_json(f"{server.url}/submit", body)
+            assert status == 200
+            status, reply = http_json(f"{server.url}/submit", body)
+            assert status == 409 and "duplicate" in reply["error"]
+            http_json(f"{server.url}/drain", b"", method="POST")
+
+
+class TestPacedClock:
+    def test_paced_daemon_assigns_wall_clock_releases(self):
+        daemon = SchedulerDaemon(
+            small_platform(), ServiceConfig(scheduler="fcfs", time_scale=50.0)
+        )
+        daemon.start()
+        _, r0 = daemon.submit(SubmissionRequest(size=1.0, databank="sp"))
+        time.sleep(0.05)
+        _, r1 = daemon.submit(SubmissionRequest(size=1.0, databank="sp"))
+        assert r1 >= r0  # monotone admission clock
+        assert r1 > 0.0  # the wall clock actually advanced virtual time
+        result = drain(daemon)
+        assert sorted(result.completions) == [0, 1]

@@ -1,0 +1,174 @@
+"""Tests of the submission-source seam in the simulation kernel.
+
+The contract under test: feeding jobs through a source incrementally
+(service mode / trace replay) produces schedules *bit-identical* to batch
+mode, where every arrival is queued up front.  Exact float equality
+throughout -- no tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ModelError
+from repro.core.instance import Instance, LiveInstance
+from repro.core.job import Job
+from repro.core.platform import Machine, Platform
+from repro.schedulers.registry import SERVICE_SCHEDULERS, make_scheduler
+from repro.simulation.engine import SimulationEngine, simulate
+from repro.simulation.source import InstanceSource, TraceSource
+
+
+def two_cluster_platform() -> Platform:
+    return Platform(
+        [
+            Machine(0, cycle_time=0.5, cluster_id=0, databanks=frozenset({"a", "c"})),
+            Machine(1, cycle_time=0.5, cluster_id=0, databanks=frozenset({"a", "c"})),
+            Machine(2, cycle_time=1.0, cluster_id=1, databanks=frozenset({"b", "c"})),
+        ]
+    )
+
+
+def staggered_jobs() -> list[Job]:
+    # Includes simultaneous releases (jobs 2 and 3) and a long quiet gap
+    # before job 5, exercising arrival batching and the idle jump.
+    return [
+        Job(0, release=0.0, size=8.0, databank="a"),
+        Job(1, release=1.0, size=2.0, databank="b"),
+        Job(2, release=3.0, size=4.0, databank="c"),
+        Job(3, release=3.0, size=1.0, databank="a"),
+        Job(4, release=3.5, size=2.5, databank="b"),
+        Job(5, release=40.0, size=5.0, databank="c"),
+    ]
+
+
+def signature(result) -> list[tuple]:
+    return sorted(
+        (s.job_id, s.machine_id, s.start, s.end, s.work) for s in result.schedule
+    )
+
+
+def replay_result(jobs, platform, key, **options):
+    live = LiveInstance(platform)
+    source = TraceSource(jobs, live_instance=live)
+    engine = SimulationEngine(live, make_scheduler(key, **options), source=source)
+    return engine.run()
+
+
+class TestInstanceSource:
+    def test_batch_engine_unchanged_by_explicit_source(self):
+        instance = Instance(staggered_jobs(), two_cluster_platform())
+        baseline = simulate(instance, make_scheduler("srpt"))
+        explicit = SimulationEngine(
+            instance, make_scheduler("srpt"), source=InstanceSource(instance)
+        ).run()
+        assert signature(explicit) == signature(baseline)
+        assert explicit.completions == baseline.completions
+
+    def test_exhausted_from_the_start(self):
+        instance = Instance(staggered_jobs(), two_cluster_platform())
+        source = InstanceSource(instance)
+        assert source.exhausted
+
+
+class TestLiveInstance:
+    def test_admit_grows_jobs_in_order(self):
+        live = LiveInstance(two_cluster_platform())
+        assert live.n_jobs == 0
+        live.admit(Job(0, release=0.0, size=1.0, databank="a"))
+        live.admit(Job(1, release=2.0, size=1.0, databank="b"))
+        assert live.n_jobs == 2
+        assert [j.job_id for j in live.jobs] == [0, 1]
+
+    def test_admit_rejects_out_of_order_release(self):
+        live = LiveInstance(two_cluster_platform())
+        live.admit(Job(0, release=5.0, size=1.0, databank="a"))
+        with pytest.raises(ModelError, match="out of order"):
+            live.admit(Job(1, release=4.0, size=1.0, databank="a"))
+
+    def test_admit_rejects_unhosted_databank(self):
+        live = LiveInstance(two_cluster_platform())
+        with pytest.raises(ModelError, match="hosted on no machine"):
+            live.admit(Job(0, release=0.0, size=1.0, databank="nope"))
+
+    def test_admit_ties_broken_by_job_id(self):
+        live = LiveInstance(two_cluster_platform())
+        live.admit(Job(0, release=1.0, size=1.0, databank="a"))
+        live.admit(Job(1, release=1.0, size=1.0, databank="a"))
+        with pytest.raises(ModelError, match="out of order"):
+            live.admit(Job(0, release=1.0, size=1.0, databank="a"))
+
+
+class TestTraceSourceBitIdentity:
+    @pytest.mark.parametrize("key", sorted(SERVICE_SCHEDULERS))
+    def test_replay_matches_batch_for_every_service_scheduler(self, key):
+        jobs = staggered_jobs()
+        platform = two_cluster_platform()
+        batch = simulate(Instance(jobs, platform), make_scheduler(key))
+        replay = replay_result(jobs, platform, key)
+        assert signature(replay) == signature(batch)
+        assert replay.completions == batch.completions
+
+    @pytest.mark.parametrize(
+        "policy", ["on-arrival", "batched:2", "batched:0.5", "threshold:2"]
+    )
+    def test_replay_matches_batch_across_replan_policies(self, policy):
+        jobs = staggered_jobs()
+        platform = two_cluster_platform()
+        batch = simulate(
+            Instance(jobs, platform), make_scheduler("online", policy=policy)
+        )
+        replay = replay_result(jobs, platform, "online", policy=policy)
+        assert signature(replay) == signature(batch)
+        assert replay.completions == batch.completions
+
+    def test_replay_matches_batch_on_generated_instance(self):
+        from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance
+
+        instance = generate_instance(
+            PlatformSpec(n_clusters=2, processors_per_cluster=3, n_databanks=3,
+                         availability=0.6),
+            WorkloadSpec(density=1.5, window=30.0, max_jobs=18),
+            rng=11,
+        )
+        batch = simulate(instance, make_scheduler("online"))
+        replay = replay_result(
+            list(instance.jobs), instance.platform, "online"
+        )
+        assert signature(replay) == signature(batch)
+        assert replay.completions == batch.completions
+
+    def test_live_instance_grows_as_jobs_are_delivered(self):
+        from repro.simulation.clock import EventQueue
+
+        jobs = staggered_jobs()
+        live = LiveInstance(two_cluster_platform())
+        source = TraceSource(jobs, live_instance=live)
+        source.start(EventQueue())
+        # Nothing delivered yet: the live instance is empty until pulled.
+        assert live.n_jobs == 0
+        delivered = source.pull(0.0, 0.0)
+        assert [j.job_id for j in delivered] == [0]
+        assert live.n_jobs == 1
+        # Simultaneous releases (t=3) are delivered as one batch.
+        delivered = source.pull(0.0, 3.0)
+        assert [j.job_id for j in delivered] == [1, 2, 3]
+        assert live.n_jobs == 4
+        # An unbounded pull (parked engine) delivers exactly the next
+        # release cohort, not everything.
+        delivered = source.pull(3.0, float("inf"))
+        assert [j.job_id for j in delivered] == [4]
+        assert not source.exhausted
+        delivered = source.pull(3.5, float("inf"))
+        assert [j.job_id for j in delivered] == [5]
+        assert source.exhausted
+        assert live.n_jobs == 6
+
+    def test_trace_source_without_live_instance(self):
+        jobs = [Job(0, release=0.0, size=1.0, databank="a")]
+        source = TraceSource(jobs)
+        from repro.simulation.clock import EventQueue
+
+        source.start(EventQueue())
+        assert [j.job_id for j in source.pull(0.0, 1.0)] == [0]
+        assert source.exhausted
