@@ -70,6 +70,7 @@ def simulate(
     *,
     scheduler_options: Mapping[str, Any] | None = None,
     record_events: bool = False,
+    faults: "object | None" = None,
 ) -> SimulationResult:
     """Run one scheduler on one instance and return the full result.
 
@@ -89,13 +90,20 @@ def simulate(
         passed.
     record_events:
         Keep the arrival/decision/completion trace on the result.
+    faults:
+        Optional machine-availability timeline: a
+        :class:`~repro.simulation.faults.FaultTimeline`, a path to a saved
+        JSONL fault trace, or a sequence of ``(machine, down, up)``
+        triples.  ``None`` (default) is the fault-free engine,
+        bit-identical to every previous release.
 
     Returns
     -------
     SimulationResult
         Realized schedule, completion dates, metric report
         (``result.report()``), scheduler wall-clock and LP probe
-        statistics.
+        statistics; jobs stranded by permanent outages are in
+        ``result.parked``.
     """
     if isinstance(scheduler, str):
         scheduler = make_scheduler(scheduler, **dict(scheduler_options or {}))
@@ -103,7 +111,11 @@ def simulate(
         raise TypeError(
             "scheduler_options only applies when 'scheduler' is a registry key"
         )
-    return _simulate(instance, scheduler, record_events=record_events)
+    if faults is not None:
+        from repro.simulation.faults import _coerce_timeline
+
+        faults = _coerce_timeline(faults)
+    return _simulate(instance, scheduler, record_events=record_events, faults=faults)
 
 
 def run_campaign(
@@ -249,6 +261,9 @@ def serve(
     record_events: bool = False,
     host: str = "127.0.0.1",
     port: int = 0,
+    max_pending: int | None = None,
+    shed_replan_p99: float | None = None,
+    retry_after: float = 1.0,
 ) -> "ServiceServer":
     """Boot the streaming-arrival scheduler daemon behind its HTTP surface.
 
@@ -257,7 +272,8 @@ def serve(
     HTTP listener serving ``POST /submit``, ``POST /stream`` (a JSONL
     window with per-record error accounting), ``GET /telemetry`` (current
     ``S*``, LP probe histogram, per-databank queue depths, replan-latency
-    percentiles) and ``POST /drain``.
+    percentiles), ``GET /healthz`` (accepting/draining/stopped/failed)
+    and ``POST /drain``.
 
     Parameters
     ----------
@@ -279,6 +295,11 @@ def serve(
     host, port:
         Bind address; ``port=0`` picks a free port (see ``server.port`` /
         ``server.url``).
+    max_pending, shed_replan_p99, retry_after:
+        The admission valve (both triggers default off): shed submissions
+        with ``503`` + ``Retry-After: retry_after`` once ``max_pending``
+        admitted jobs await delivery, or once the live replan-latency p99
+        exceeds ``shed_replan_p99`` seconds.
 
     Returns
     -------
@@ -298,6 +319,9 @@ def serve(
         time_scale=time_scale,
         journal=None if journal is None else str(journal),
         record_events=record_events,
+        max_pending=max_pending,
+        shed_replan_p99=shed_replan_p99,
+        retry_after=retry_after,
     )
     server = ServiceServer(SchedulerDaemon(platform, config), host=host, port=port)
     server.start()

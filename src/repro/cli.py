@@ -90,9 +90,12 @@ from repro.schedulers.registry import (
     available_schedulers,
     paper_schedulers,
 )
+from repro.simulation.faults import FaultTimeline, load_fault_timeline
 from repro.theory.bounds import swrpt_competitive_gap
 from repro.theory.starvation import starvation_analysis
+from repro.utils.seeding import derive_seed
 from repro.utils.textable import TextTable
+from repro.workload.faults import FaultSpec, generate_fault_timeline
 from repro.workload.generator import PlatformSpec, WorkloadSpec, generate_instance, generate_platform
 
 __all__ = ["main", "build_parser"]
@@ -124,6 +127,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sim.add_argument("--trace", action="store_true", help="print the event trace")
     sim.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    sim.add_argument(
+        "--fault-trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="inject machine outages from a JSONL fault trace "
+        "(see README 'Fault tolerance'); mutually exclusive with "
+        "--fault-mtbf/--fault-mttr",
+    )
+    sim.add_argument(
+        "--fault-mtbf",
+        type=float,
+        default=None,
+        help="generate a seeded outage trace: mean seconds between failures "
+        "per machine (requires --fault-mttr)",
+    )
+    sim.add_argument(
+        "--fault-mttr",
+        type=float,
+        default=None,
+        help="mean outage duration in seconds (requires --fault-mtbf)",
+    )
+    sim.add_argument(
+        "--fault-loss-model",
+        choices=["resume", "restart"],
+        default="resume",
+        help="what a downed machine's in-flight work does: 'resume' keeps "
+        "remaining work, 'restart' loses the un-checkpointed fraction",
+    )
+    sim.add_argument(
+        "--fault-checkpoint-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of processed work preserved under the restart loss "
+        "model (0 = restart from scratch)",
+    )
     _add_replanning_arguments(sim)
 
     camp = sub.add_parser("campaign", help="run a scaled-down version of the paper campaign")
@@ -155,6 +194,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--densities", type=float, nargs="+", default=[0.75, 1.0, 1.25, 1.5, 2.0, 3.0]
     )
     camp.add_argument("--schedulers", nargs="+", default=None, metavar="KEY")
+    camp.add_argument(
+        "--fault-mtbf",
+        type=float,
+        default=None,
+        help="availability axis: mean seconds between machine failures "
+        "(requires --fault-mttr; traces derive from the replicate seed, so "
+        "records stay bit-identical at any worker count)",
+    )
+    camp.add_argument(
+        "--fault-mttr", type=float, default=None, help="mean outage duration (s)"
+    )
+    camp.add_argument(
+        "--fault-loss-model", choices=["resume", "restart"], default="resume"
+    )
+    camp.add_argument("--fault-checkpoint-fraction", type=float, default=0.0)
     camp.add_argument("--save-csv", type=str, default=None)
     camp.add_argument("--breakdowns", action="store_true", help="also print Tables 2-16")
     camp.add_argument(
@@ -303,6 +357,29 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--databanks", type=int, default=3)
     srv.add_argument("--availability", type=float, default=0.6)
     srv.add_argument("--seed", type=int, default=0, help="platform generation seed")
+    srv.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admission valve: shed submissions (503 + Retry-After) once N "
+        "admitted jobs are still waiting for delivery (default: unbounded)",
+    )
+    srv.add_argument(
+        "--shed-replan-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="admission valve: shed submissions while the live replan-latency "
+        "p99 exceeds this target (default: off)",
+    )
+    srv.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="back-off advertised on shed submissions (default: 1.0)",
+    )
     _add_replanning_arguments(srv)
 
     fig = sub.add_parser("figure3", help="run the Figure 3 density sweep")
@@ -450,6 +527,30 @@ def _check_backend(args: argparse.Namespace) -> str | None:
     return None
 
 
+def _simulate_faults(args: argparse.Namespace, instance) -> "FaultTimeline | None":
+    """The fault timeline the ``simulate`` flags describe (``None`` = off)."""
+    if args.fault_trace is not None:
+        if args.fault_mtbf is not None or args.fault_mttr is not None:
+            raise ReproError(
+                "--fault-trace is mutually exclusive with --fault-mtbf/--fault-mttr"
+            )
+        return load_fault_timeline(args.fault_trace)
+    if (args.fault_mtbf is None) != (args.fault_mttr is None):
+        raise ReproError("--fault-mtbf and --fault-mttr must be given together")
+    if args.fault_mtbf is None:
+        return None
+    spec = FaultSpec(
+        mtbf=args.fault_mtbf,
+        mttr=args.fault_mttr,
+        horizon=args.window,
+        loss_model=args.fault_loss_model,
+        checkpoint_fraction=args.fault_checkpoint_fraction,
+    )
+    return generate_fault_timeline(
+        instance.platform, spec, rng=derive_seed(args.seed, "faults")
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     spec_p = PlatformSpec(
         n_clusters=args.clusters,
@@ -459,8 +560,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     spec_w = WorkloadSpec(density=args.density, window=args.window, max_jobs=args.max_jobs)
     instance = generate_instance(spec_p, spec_w, rng=args.seed)
+    try:
+        faults = _simulate_faults(args, instance)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(instance.platform.describe())
     print(f"{instance.n_jobs} jobs, size ratio Delta = {instance.delta():.2f}")
+    if faults:
+        n_outages = len(faults.intervals())
+        print(
+            f"fault timeline: {n_outages} outage(s) over "
+            f"{len(faults.machine_ids())} machine(s), "
+            f"loss model {faults.loss_model}"
+        )
     print()
     table = TextTable(
         headers=["Scheduler", "max-stretch", "sum-stretch", "max-flow", "makespan",
@@ -473,7 +586,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             key,
             scheduler_options=online_options.get(key),
             record_events=args.trace,
+            faults=faults,
         )
+        if result.parked:
+            print(
+                f"note: {result.scheduler_name} parked job(s) "
+                f"{sorted(result.parked)} (no eligible machine left up); "
+                "their stretch is reported as inf"
+            )
         report = result.report()
         table.add_row(
             [
@@ -542,6 +662,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if (args.fault_mtbf is None) != (args.fault_mttr is None):
+        print(
+            "error: --fault-mtbf and --fault-mttr must be given together",
+            file=sys.stderr,
+        )
+        return 2
     configs = paper_configurations(
         sites=args.sites,
         databanks=args.databanks,
@@ -554,8 +680,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         solver_backend=args.solver_backend,
         state_bank=args.state_bank,
         speculation=args.speculate,
+        fault_mtbf=args.fault_mtbf,
+        fault_mttr=args.fault_mttr,
+        fault_loss_model=args.fault_loss_model,
+        fault_checkpoint_fraction=args.fault_checkpoint_fraction,
     )
     scheduler_keys = args.schedulers or paper_schedulers(include_bender98=False)
+    if args.fault_mtbf is not None:
+        clairvoyant = [k for k in scheduler_keys if k in ("offline", "offline-sum")]
+        if clairvoyant:
+            print(
+                f"warning: {', '.join(clairvoyant)} plan(s) the whole run "
+                "clairvoyantly and cannot react to outages; with the fault "
+                "axis on their runs are recorded as failed",
+                file=sys.stderr,
+            )
     computed = 0
 
     def progress(msg) -> None:
@@ -720,6 +859,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             journal=args.journal,
             host=args.host,
             port=args.port,
+            max_pending=args.max_pending,
+            shed_replan_p99=args.shed_replan_p99,
+            retry_after=args.retry_after,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -730,6 +872,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print("  POST /submit     one JSON submission")
     print("  POST /stream     a JSONL submission window")
     print("  GET  /telemetry  live S*, queue depths, replan latencies")
+    print("  GET  /healthz    accepting / draining / stopped / failed")
     print("  POST /drain      close submissions, finish, report metrics")
     if args.journal:
         print(f"journaling accepted submissions to {args.journal}")
@@ -737,22 +880,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # stdout is a block-buffered pipe, or callers scripting the daemon
     # never learn the ephemeral port.
     sys.stdout.flush()
+    import signal
     import time as _time
 
-    try:
-        while server.daemon.running:
-            _time.sleep(0.5)
-    except KeyboardInterrupt:
-        print("\nshutting down (draining admitted jobs) ...", file=sys.stderr)
+    # SIGTERM (systemd stop, container runtime, kill) means drain-then-exit:
+    # stop admitting, let the engine finish what was accepted, seal the
+    # journal, leave 0.  The handler only flips a flag -- all real work
+    # happens on the main thread, outside async-signal context.
+    terminating = False
+
+    def _on_sigterm(signum: int, frame: object) -> None:
+        nonlocal terminating
+        terminating = True
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    drained = False
+
+    def _drain(reason: str) -> int:
+        nonlocal drained
+        drained = True
+        print(f"\n{reason}: draining admitted jobs ...", file=sys.stderr)
         server.daemon.close_submissions()
         try:
             server.daemon.join(timeout=60.0)
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
+        return 0
+
+    try:
+        code = 0
+        try:
+            while server.daemon.running and not terminating:
+                _time.sleep(0.5)
+            if terminating:
+                code = _drain("SIGTERM received")
+        except KeyboardInterrupt:
+            code = _drain("interrupted")
+        return code
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         server.shutdown()
-    return 0
 
 
 def _cmd_figure3(args: argparse.Namespace) -> int:

@@ -28,4 +28,55 @@ class InfeasibleError(ReproError):
 
 
 class SolverError(ReproError):
-    """The underlying LP solver failed unexpectedly."""
+    """The underlying LP solver failed unexpectedly.
+
+    Besides the message, the error can carry structured context about the
+    failing probe -- which backend and method were tried, how many attempts
+    the retry chain burned, and the content signature of the LP problem --
+    so campaign ``failed`` records and logs can say *what* died without
+    parsing strings.  All context is optional: plain ``SolverError("msg")``
+    raises (and pickles across worker processes) exactly as before.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        backend: str | None = None,
+        method: str | None = None,
+        status: int | None = None,
+        attempts: int | None = None,
+        probe_signature: object | None = None,
+    ):
+        super().__init__(message)
+        self.backend = backend
+        self.method = method
+        self.status = status
+        self.attempts = attempts
+        self.probe_signature = probe_signature
+
+    def context(self) -> dict[str, object]:
+        """The non-``None`` structured fields, for logging/record payloads."""
+        fields = {
+            "backend": self.backend,
+            "method": self.method,
+            "status": self.status,
+            "attempts": self.attempts,
+            "probe_signature": self.probe_signature,
+        }
+        return {key: value for key, value in fields.items() if value is not None}
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = self.context()
+        if not context:
+            return base
+        signature = context.pop("probe_signature", None)
+        if signature is not None:
+            # Signatures are long content tuples; show a stable digest only.
+            try:
+                context["probe_signature"] = f"<sig {hash(signature) & 0xFFFFFFFF:08x}>"
+            except TypeError:  # pragma: no cover - unhashable custom payloads
+                context["probe_signature"] = "<sig>"
+        detail = ", ".join(f"{key}={value}" for key, value in context.items())
+        return f"{base} [{detail}]"

@@ -25,6 +25,7 @@ from repro.core.errors import ModelError
 from repro.options import OnOff, SolverBackendChoice
 from repro.schedulers.policies import parse_policy
 from repro.schedulers.registry import LP_SOLVER_SCHEDULERS, ONLINE_LP_SCHEDULERS
+from repro.workload.faults import FaultSpec
 from repro.workload.generator import PlatformSpec, WorkloadSpec
 from repro.workload.gripps import DEFAULT_PROCESSORS_PER_CLUSTER, SUBMISSION_WINDOW_SECONDS
 
@@ -78,6 +79,16 @@ class ExperimentConfig:
     misses are discarded); the toggle only moves LP work out of the
     arrival-to-plan latency path, so it defaults off like every other
     non-paper accelerator axis.
+
+    The ``fault_*`` fields add a machine-availability axis (another scenario
+    the paper discusses only qualitatively): when ``fault_mtbf`` and
+    ``fault_mttr`` are both set, each replicate's instance is paired with a
+    seeded :class:`~repro.simulation.faults.FaultTimeline` drawn from the
+    renewal model of :mod:`repro.workload.faults` (the trace derives from
+    the replicate seed, so it is part of the experiment identity and replays
+    exactly at any worker count).  ``fault_horizon`` defaults to the
+    submission window.  With the axis off (the default) campaigns are
+    bit-identical to the fault-free engine.
     """
 
     name: str
@@ -93,6 +104,12 @@ class ExperimentConfig:
     solver_backend: "SolverBackendChoice | str" = SolverBackendChoice.AUTO
     state_bank: "OnOff | bool | str" = OnOff.ON
     speculation: "OnOff | bool | str" = OnOff.OFF
+    fault_mtbf: float | None = None
+    fault_mttr: float | None = None
+    fault_horizon: float | None = None
+    fault_machine_fraction: float = 1.0
+    fault_loss_model: str = "resume"
+    fault_checkpoint_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_clusters <= 0 or self.n_databanks <= 0:
@@ -122,6 +139,13 @@ class ExperimentConfig:
             )
         except ValueError as exc:
             raise ModelError(str(exc)) from None
+        if (self.fault_mtbf is None) != (self.fault_mttr is None):
+            raise ModelError(
+                "fault_mtbf and fault_mttr must be set together (or both left None)"
+            )
+        # Delegate range validation to FaultSpec so the config can never
+        # carry a fault axis the generator would reject at run time.
+        self.fault_spec()
 
     # -- conversions -------------------------------------------------------------
     def platform_spec(self) -> PlatformSpec:
@@ -134,6 +158,19 @@ class ExperimentConfig:
 
     def workload_spec(self) -> WorkloadSpec:
         return WorkloadSpec(density=self.density, window=self.window, max_jobs=self.max_jobs)
+
+    def fault_spec(self) -> FaultSpec | None:
+        """The availability-axis parameters, or ``None`` when the axis is off."""
+        if self.fault_mtbf is None or self.fault_mttr is None:
+            return None
+        return FaultSpec(
+            mtbf=self.fault_mtbf,
+            mttr=self.fault_mttr,
+            horizon=self.window if self.fault_horizon is None else self.fault_horizon,
+            machine_fraction=self.fault_machine_fraction,
+            loss_model=self.fault_loss_model,
+            checkpoint_fraction=self.fault_checkpoint_fraction,
+        )
 
     def scaled(
         self, *, window: float | None = None, max_jobs: int | None = None
@@ -183,6 +220,12 @@ class ExperimentConfig:
             "solver_backend": str(self.solver_backend),
             "state_bank": bool(self.state_bank),
             "speculation": bool(self.speculation),
+            "fault_mtbf": self.fault_mtbf,
+            "fault_mttr": self.fault_mttr,
+            "fault_horizon": self.fault_horizon,
+            "fault_machine_fraction": self.fault_machine_fraction,
+            "fault_loss_model": self.fault_loss_model,
+            "fault_checkpoint_fraction": self.fault_checkpoint_fraction,
         }
 
 
@@ -200,6 +243,12 @@ def paper_configurations(
     solver_backend: str = "auto",
     state_bank: bool = True,
     speculation: bool = False,
+    fault_mtbf: float | None = None,
+    fault_mttr: float | None = None,
+    fault_horizon: float | None = None,
+    fault_machine_fraction: float = 1.0,
+    fault_loss_model: str = "resume",
+    fault_checkpoint_fraction: float = 0.0,
 ) -> list[ExperimentConfig]:
     """The full factorial design of Section 5.3 (162 configurations by default)."""
     configs: list[ExperimentConfig] = []
@@ -227,6 +276,12 @@ def paper_configurations(
                             solver_backend=solver_backend,
                             state_bank=state_bank,
                             speculation=speculation,
+                            fault_mtbf=fault_mtbf,
+                            fault_mttr=fault_mttr,
+                            fault_horizon=fault_horizon,
+                            fault_machine_fraction=fault_machine_fraction,
+                            fault_loss_model=fault_loss_model,
+                            fault_checkpoint_fraction=fault_checkpoint_fraction,
                         )
                     )
     return configs

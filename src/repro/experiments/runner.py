@@ -60,6 +60,7 @@ import math
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
@@ -70,10 +71,12 @@ from repro.core.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.lp.backends import SolverBackend, make_backend, resolve_backend_name
 from repro.lp.bank import SolverStateBank
+from repro.lp.resilience import make_resilient
 from repro.options import DispatchMode
 from repro.schedulers.registry import make_scheduler, paper_schedulers
 from repro.simulation.engine import simulate
 from repro.utils.seeding import derive_seed
+from repro.workload.faults import generate_fault_timeline
 from repro.workload.generator import generate_instance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -104,6 +107,12 @@ _IN_FLIGHT_PER_WORKER = 4
 #: worker normally alternates between at most a handful of live instances
 #: even when the pool steals tasks across replicate boundaries.
 _INSTANCE_CACHE_SIZE = 8
+
+#: Extra attempts a dispatch unit gets after its worker process dies (OOM
+#: kill, SIGKILL, segfault in native code).  A unit whose fresh-worker
+#: re-runs also die is genuinely poisonous and aborts the campaign with
+#: context rather than looping forever.
+_MAX_UNIT_RETRIES = 2
 
 
 def nan_to_none(values: dict[str, object]) -> dict[str, object]:
@@ -473,14 +482,17 @@ class _WorkerState:
 
         Names are resolved through :func:`~repro.lp.backends.make_backend`
         once and cached, so every LP scheduler this worker runs shares the
-        same live backend handle.  Non-string specs (``None`` or an explicit
+        same live backend handle.  Persistent backends are wrapped in the
+        scipy-downgrade :func:`~repro.lp.resilience.make_resilient` shell,
+        so one pathological probe degrades that probe, not the worker.
+        Non-string specs (``None`` or an explicit
         :class:`~repro.lp.backends.SolverBackend`) pass through untouched.
         """
         if not isinstance(spec, str):
             return spec
         backend = self._backends.get(spec)
         if backend is None:
-            backend = make_backend(spec)
+            backend = make_resilient(make_backend(spec))
             self._backends[spec] = backend
         return backend
 
@@ -530,14 +542,26 @@ def _run_one(
     if isinstance(bank_flag, bool):
         options["state_bank"] = state.bank if bank_flag else None
     scheduler = make_scheduler(scheduler_key, **options)
+    # The availability axis: a seeded fault timeline derived from the
+    # replicate seed, regenerated identically wherever the task runs.  With
+    # the axis off, `faults` stays None and the engine path is untouched.
+    faults = None
+    fault_spec = config.fault_spec()
+    if fault_spec is not None:
+        faults = generate_fault_timeline(
+            instance.platform, fault_spec, rng=derive_seed(seed, "faults")
+        )
     failed = False
     try:
-        result = simulate(instance, scheduler)
+        result = simulate(instance, scheduler, faults=faults)
         values = result.metrics_row()
         values["scheduler_time"] = result.scheduler_time
     except ReproError:
-        # A scheduler failure (e.g. an LP numerical breakdown on a corner
-        # case) is recorded instead of aborting the whole campaign.
+        # A scheduler failure -- an LP numerical breakdown on a corner case,
+        # a terminal SolverError that survived the retry/downgrade chain, or
+        # a fault axis paired with a non-fault-aware scheduler -- is
+        # recorded as a NaN-metrics `failed` record instead of aborting the
+        # whole campaign (or this worker's group future).
         failed = True
         values = dict(
             max_stretch=math.nan,
@@ -981,6 +1005,17 @@ def _run_pooled(
     lanes, so records are checkpointed and reported the moment their unit
     finishes -- a straggler lane blocks neither the progress stream nor the
     other lanes.
+
+    A lane whose worker process dies (OOM killer, SIGKILL, native crash)
+    surfaces as :class:`BrokenProcessPool` on its in-flight futures.  The
+    lane is rebuilt: the broken pool is discarded, every unit that was in
+    flight on it is requeued at the front of the lane's FIFO in canonical
+    order, and a fresh single-process pool takes over.  Results are
+    unaffected -- units are deterministic in the replicate seed and the
+    bank only ever reuses exact optima -- so recovery preserves the
+    any-worker-count bit-identity invariant; each unit gets at most
+    ``_MAX_UNIT_RETRIES`` fresh-worker re-runs before the campaign aborts
+    with the poisonous unit named.
     """
     tasks = run.tasks
     lanes = _lane_assignments(tasks, n_workers)
@@ -1027,19 +1062,51 @@ def _run_pooled(
             stage_seconds["dispatch"] += time.perf_counter() - t_submit
             in_flight[future] = unit
 
+        retries: dict[int, int] = {}
+
+        def recover_lane(lane: int, unit: list[int]) -> None:
+            """Rebuild a lane whose worker died; requeue its in-flight units."""
+            stranded = [unit]
+            for future in [f for f, u in in_flight.items() if lanes[u[0]] == lane]:
+                stranded.append(in_flight.pop(future))
+            stranded.sort(key=lambda u: u[0])
+            for retried in stranded:
+                count = retries.get(retried[0], 0) + 1
+                if count > _MAX_UNIT_RETRIES:
+                    first = tasks[retried[0]]
+                    raise ReproError(
+                        f"campaign unit {first.triple} crashed its worker "
+                        f"{count} times; aborting (raise _MAX_UNIT_RETRIES "
+                        "or investigate the instance)"
+                    )
+                retries[retried[0]] = count
+            queues[lane].extendleft(reversed(stranded))
+            broken = pools.pop(lane, None)
+            if broken is not None:
+                broken.shutdown(wait=False, cancel_futures=True)
+            for _ in range(window):
+                submit_next(lane)
+
         for lane in range(n_workers):
             for _ in range(window):
                 submit_next(lane)
         while in_flight:
             done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
             for future in done:
-                unit = in_flight.pop(future)
+                unit = in_flight.pop(future, None)
+                if unit is None:
+                    continue  # already requeued by a lane recovery this round
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    recover_lane(lanes[unit[0]], unit)
+                    continue
                 submit_next(lanes[unit[0]])
                 if dispatch == "group":
-                    packed, compute_seconds, pack_seconds = future.result()
+                    packed, compute_seconds, pack_seconds = payload
                     run.finish_group(unit, packed, compute_seconds, pack_seconds)
                 else:
-                    run.finish(unit[0], future.result())
+                    run.finish(unit[0], payload)
     finally:
         for pool in pools.values():
             pool.shutdown(wait=True, cancel_futures=True)

@@ -16,6 +16,7 @@ from scipy.optimize import linprog
 
 from repro.core.errors import SolverError
 from repro.lp.backends.base import LPResult, LPSpec, SolverBackend, WarmStartHint
+from repro.lp.resilience import DEFAULT_RETRY_POLICY, RetryPolicy, solve_with_retries
 
 __all__ = ["ScipyBackend"]
 
@@ -27,10 +28,12 @@ class ScipyBackend(SolverBackend):
     HiGHS interior-point method for large ones (empirically ~2x faster on the
     transportation-like LPs produced by System (1) on big platforms).
 
-    scipy status 1 (iteration limit) is treated as retriable: the solve is
-    retried once with ``highs-ipm``, whose iteration economy differs enough
-    from dual simplex to clear the limit on the rare degenerate programs that
-    hit it.  Only a second failure raises :class:`SolverError`.
+    scipy status 1 (iteration limit) is treated as retriable: per the
+    backend's :class:`~repro.lp.resilience.RetryPolicy` (the default policy
+    unless one is passed at construction), the solve is retried with
+    ``highs-ipm``, whose iteration economy differs enough from dual simplex
+    to clear the limit on the rare degenerate programs that hit it.  Only a
+    failure that exhausts the chain raises :class:`SolverError`.
 
     :func:`scipy.optimize.linprog` does not expose Farkas certificates, so
     infeasible results carry ``dual_ray=None`` and the certificate-guided
@@ -40,6 +43,11 @@ class ScipyBackend(SolverBackend):
 
     name = "scipy"
     persistent = False
+
+    def __init__(self, retry_policy: RetryPolicy | None = None):
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else DEFAULT_RETRY_POLICY
+        )
 
     def _solve(
         self,
@@ -82,16 +90,21 @@ class ScipyBackend(SolverBackend):
                 method=chosen_method,
             )
 
-        result = run(method)
         # scipy status codes: 0 success, 1 iteration limit, 2 infeasible,
-        # 3 unbounded, 4 numerical difficulties.
-        if result.status == 1 and method != "highs-ipm":
-            result = run("highs-ipm")
+        # 3 unbounded, 4 numerical difficulties.  Status 1 walks the retry
+        # policy's escalation chain; 2 is a certified answer, not a failure.
+        result, attempts, used = solve_with_retries(
+            run, method, policy=self.retry_policy
+        )
         if result.status == 2:
             return self.infeasible_result(spec, result.message)
         if result.status != 0:
             raise SolverError(
-                f"LP solver failed (status {result.status}): {result.message}"
+                f"LP solver failed (status {result.status}): {result.message}",
+                backend=self.name,
+                method=used,
+                status=int(result.status),
+                attempts=attempts,
             )
         return LPResult(
             status=0,

@@ -60,7 +60,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.core.errors import ModelError
+from repro.core.errors import ModelError, SolverError
 from repro.core.instance import Instance
 from repro.lp.backends import (
     SolverBackend,
@@ -87,6 +87,7 @@ from repro.lp.problem import (
     problem_from_instance,
 )
 from repro.lp.relaxation import reoptimize_allocation
+from repro.lp.resilience import annotate_solver_error
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.job import Job
@@ -299,15 +300,21 @@ class ReplanContext:
             return speculated
 
         report = MilestoneSearchReport()
-        solution = minimize_max_weighted_flow(
-            problem,
-            warm_start=self._warm_hint(problem),
-            feasible_cap=self._feasible_cap(problem),
-            skeleton_cache=self._skeletons,
-            backend=self.backend,
-            search=self.milestone_search,
-            report=report,
-        )
+        try:
+            solution = minimize_max_weighted_flow(
+                problem,
+                warm_start=self._warm_hint(problem),
+                feasible_cap=self._feasible_cap(problem),
+                skeleton_cache=self._skeletons,
+                backend=self.backend,
+                search=self.milestone_search,
+                report=report,
+            )
+        except SolverError as exc:
+            # Attach the probe identity so a campaign `failed` record can
+            # say which LP content died without re-running the replan.
+            annotate_solver_error(exc, backend=self.backend.name, probe_signature=sig)
+            raise
         self._note_solution(problem, sig, solution, report.certificate)
         self.n_probes_solved += report.n_solved
         self.n_probes_skipped += report.n_skipped
@@ -424,6 +431,30 @@ class ReplanContext:
             self._bucket.sys1[sig] = (solution, spec_certificate)
             self._bucket.trim()
         return solution
+
+    def invalidate_carry(self) -> None:
+        """Forget everything carried from previous replans.
+
+        Called on machine availability transitions.  The carried
+        :math:`S^*`, certificate, previous-solution shortcut and speculation
+        memo are all justified by the previous plan having been *followed*
+        on a stable platform -- an outage violates that (a downed machine
+        executes nothing its plan claimed, so the carried cap may refute the
+        new true optimum).  Structural caches (resources, job table,
+        skeletons) survive: they describe problem shapes, not solution
+        values, and the full-platform problem returns unchanged once every
+        machine is back up.  Bank entries also survive -- they are keyed by
+        the full problem content, so they can only ever re-bind exact
+        optima.
+        """
+        self.last_objective = None
+        self.last_certificate = None
+        self._last_sig = None
+        self._last_problem = None
+        self._last_solution = None
+        self._prev_active = None
+        self._spec = None
+        self._spec_sys2 = None
 
     def _note_solution(
         self,

@@ -41,6 +41,12 @@ class Scheduler(ABC):
     #: Human-readable name used in result tables.
     name: str = "scheduler"
 
+    #: Whether the strategy can run under a fault timeline.  Clairvoyant
+    #: strategies whose whole-run plan assumes a reliable platform set this
+    #: to ``False``; the engine then refuses to pair them with faults
+    #: instead of producing silently wrong schedules.
+    fault_aware: bool = True
+
     def reset(self, instance: Instance) -> None:
         """Called once before the simulation starts.
 
@@ -65,6 +71,20 @@ class Scheduler(ABC):
 
     def on_completion(self, state: SchedulerState, job_id: int) -> None:
         """Called when a job completes."""
+
+    def on_availability(
+        self, state: SchedulerState, downs: Sequence[int], ups: Sequence[int]
+    ) -> None:
+        """Called after machine availability changed (fault injection).
+
+        ``downs``/``ups`` are the machine ids that just left/rejoined the
+        platform; ``state.down`` already reflects the new availability and
+        in-flight work on the failed machines has been re-queued per the
+        timeline's loss model.  Stateless schedulers need not react -- their
+        next :meth:`assign` reads the filtered availability from the state
+        -- but plan-holding strategies must invalidate anything that
+        references the transitioned machines.
+        """
 
     def on_idle(self, state: SchedulerState, until: float) -> None:
         """Called when simulated time is about to jump to ``until``.
@@ -140,7 +160,7 @@ class PriorityScheduler(Scheduler):
             (rt.job_id for rt in runtimes), np.int64, count=len(runtimes)
         )
         order = kernels.rank_by_priority(keys, job_ids)
-        available = set(instance.platform.ids())
+        available = state.available_ids()
         mapping: dict[int, int] = {}
         for position in order.tolist():
             if not available:
@@ -331,6 +351,26 @@ class PlanBasedScheduler(Scheduler):
         if decision.replan:
             self._do_replan(state)
 
+    def on_availability(
+        self, state: SchedulerState, downs: Sequence[int], ups: Sequence[int]
+    ) -> None:
+        """Every availability transition invalidates the plan: recompute now.
+
+        The default drops everything planned from the current instant and
+        forces an immediate replan through :meth:`rebuild_after_availability`
+        (policies never get to defer this -- a plan referencing a downed
+        machine must not survive even one step).
+        """
+        self.clear_plan_from(state.time)
+        self._recheck_at = None
+        self.rebuild_after_availability(state, downs, ups)
+
+    def rebuild_after_availability(
+        self, state: SchedulerState, downs: Sequence[int], ups: Sequence[int]
+    ) -> None:
+        """Recompute the plan after a transition (default: full replan)."""
+        self._do_replan(state)
+
     # -- plan following -----------------------------------------------------------------
     def assign(self, state: SchedulerState) -> Assignment:
         if self._recheck_at is not None and state.time >= self._recheck_at - 1e-9:
@@ -348,7 +388,13 @@ class PlanBasedScheduler(Scheduler):
         time = state.time
         mapping: dict[int, int] = {}
         breakpoints: list[float] = []
+        down = state.down
         for machine_id, per_machine in self._plan.items():
+            if down and machine_id in down:
+                # Defensive: a downed machine executes nothing, whatever a
+                # stale plan says (replans triggered by on_availability make
+                # this unreachable in practice).
+                continue
             current: PlanSegment | None = None
             upcoming: PlanSegment | None = None
             for segment in per_machine:

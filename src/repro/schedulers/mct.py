@@ -33,9 +33,21 @@ class MCTScheduler(PlanBasedScheduler):
     name = "MCT"
 
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
-        instance = state.instance
-        now = state.time
-        machines = list(instance.eligible_machines(job.job_id))
+        self._place(state, job.job_id, job.size, state.time)
+
+    def rebuild_after_availability(
+        self, state: SchedulerState, downs: Sequence[int], ups: Sequence[int]
+    ) -> None:
+        # The greedy choice is re-run for the remaining work of every active
+        # job (in release order); a job whose eligible machines are all down
+        # stays unplanned and parks until an UP transition re-triggers this.
+        for runtime in state.active_jobs():
+            self._place(state, runtime.job_id, runtime.remaining, state.time)
+
+    def _place(self, state: SchedulerState, job_id: int, work: float, now: float) -> None:
+        machines = list(state.available_eligible(job_id))
+        if not machines:
+            return
         count = len(machines)
         available = np.fromiter(
             (self.plan_horizon(m.machine_id, now) for m in machines),
@@ -46,17 +58,17 @@ class MCTScheduler(PlanBasedScheduler):
             (m.cycle_time for m in machines), np.float64, count=count
         )
         index, best_completion = kernels.mct_argmin_completion(
-            available, cycle_times, now, job.size
+            available, cycle_times, now, work
         )
-        if index < 0:  # pragma: no cover - instances are validated upstream
-            raise RuntimeError(f"no eligible machine for job {job.job_id}")
+        if index < 0:  # pragma: no cover - count > 0 guarantees a winner
+            raise RuntimeError(f"no eligible machine for job {job_id}")
         best_machine = machines[index]
         start = max(float(available[index]), now)
         self.extend_plan(
             [
                 PlanSegment(
                     machine_id=best_machine.machine_id,
-                    job_id=job.job_id,
+                    job_id=job_id,
                     start=start,
                     end=best_completion,
                 )
@@ -70,9 +82,18 @@ class MCTDivScheduler(PlanBasedScheduler):
     name = "MCT-Div"
 
     def on_arrival(self, state: SchedulerState, job: Job) -> None:
-        instance = state.instance
-        now = state.time
-        machines = list(instance.eligible_machines(job.job_id))
+        self._place(state, job.job_id, job.size, state.time)
+
+    def rebuild_after_availability(
+        self, state: SchedulerState, downs: Sequence[int], ups: Sequence[int]
+    ) -> None:
+        for runtime in state.active_jobs():
+            self._place(state, runtime.job_id, runtime.remaining, state.time)
+
+    def _place(self, state: SchedulerState, job_id: int, work: float, now: float) -> None:
+        machines = list(state.available_eligible(job_id))
+        if not machines:
+            return
         count = len(machines)
         availability = np.fromiter(
             (max(self.plan_horizon(m.machine_id, now), now) for m in machines),
@@ -80,7 +101,7 @@ class MCTDivScheduler(PlanBasedScheduler):
             count=count,
         )
         speeds = np.fromiter((m.speed for m in machines), np.float64, count=count)
-        completion = kernels.water_filling_completion(job.size, speeds, availability)
+        completion = kernels.water_filling_completion(work, speeds, availability)
         segments = []
         for i, machine in enumerate(machines):
             available = float(availability[i])
@@ -88,7 +109,7 @@ class MCTDivScheduler(PlanBasedScheduler):
                 segments.append(
                     PlanSegment(
                         machine_id=machine.machine_id,
-                        job_id=job.job_id,
+                        job_id=job_id,
                         start=available,
                         end=completion,
                     )

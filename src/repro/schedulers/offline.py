@@ -49,6 +49,11 @@ class OfflineScheduler(PlanBasedScheduler):
 
     name = "Offline"
 
+    #: The whole-run plan is computed at reset assuming a reliable platform;
+    #: pairing it with a fault timeline would silently execute on downed
+    #: machines, so the engine refuses the combination.
+    fault_aware = False
+
     def __init__(
         self,
         *,

@@ -54,7 +54,7 @@ from repro.lp.backends import SolverBackend, make_backend, note_replan
 from repro.lp.bank import SolverStateBank
 from repro.lp.incremental import ReplanContext
 from repro.lp.maxstretch import MaxStretchSolution, minimize_max_weighted_flow
-from repro.lp.problem import problem_from_instance
+from repro.lp.problem import Resource, problem_from_instance
 from repro.lp.relaxation import reoptimize_allocation
 from repro.lp.speculate import predict_replan_remaining
 from repro.simulation.state import Assignment, SchedulerState
@@ -140,6 +140,9 @@ class OnlineLPScheduler(PlanBasedScheduler):
         )
         self._backend: SolverBackend | None = None
         self._context: ReplanContext | None = None
+        #: Lazily created backend for degraded (restricted-availability)
+        #: replans, kept apart from the full-platform warm-start state.
+        self._fault_backend: SolverBackend | None = None
         #: Best achievable max-stretch computed at the last release date.
         self.last_objective: float | None = None
         #: Number of LP re-optimizations performed.
@@ -163,9 +166,23 @@ class OnlineLPScheduler(PlanBasedScheduler):
             # emptied here (mirroring the ReplanContext lifetime).
             self._backend = make_backend(self.solver_backend)
             self._backend.close()
+        if self._fault_backend is not None:
+            self._fault_backend.close()
+            self._fault_backend = None
         self.last_objective = None
         self.n_resolutions = 0
         self._egdf_rank = {}
+
+    def on_availability(
+        self, state: SchedulerState, downs: Sequence[int], ups: Sequence[int]
+    ) -> None:
+        if self._context is not None:
+            # Carried S*/certificates assume the previous plan was followed
+            # on a stable platform; an outage breaks that premise, so the
+            # context must restart cold (the speculation memo dies with it
+            # -- an UP during an idle gap therefore misses cleanly).
+            self._context.invalidate_carry()
+        super().on_availability(state, downs, ups)
 
     def on_arrivals(self, state: SchedulerState, jobs: Sequence[Job]) -> None:
         if self._context is not None:
@@ -199,6 +216,10 @@ class OnlineLPScheduler(PlanBasedScheduler):
         """
         if not self.speculate or self._context is None:
             return
+        if state.down:
+            # Degraded replans bypass the context (and its memo); a
+            # speculative full-platform pre-solve could never hit anyway.
+            return
         remaining = predict_replan_remaining(
             state, self.plan_assignment(state).mapping, until
         )
@@ -220,6 +241,9 @@ class OnlineLPScheduler(PlanBasedScheduler):
         instance = state.instance
         now = state.time
         remaining = state.remaining_map()
+        if state.down:
+            self._replan_degraded(state, now, remaining)
+            return
         if not remaining:
             self.set_plan([])
             return
@@ -245,6 +269,12 @@ class OnlineLPScheduler(PlanBasedScheduler):
             )
 
         # Step 4: build the executable plan.
+        self._install_plan(solution, instance, now)
+
+    def _install_plan(
+        self, solution: MaxStretchSolution, instance: Instance, now: float
+    ) -> None:
+        """Step 4: turn the LP allocation into an executable plan."""
         if self.variant == "online-egdf":
             self._egdf_rank = self._global_priorities(solution)
             self.set_plan([])  # the EGDF variant does not follow a plan
@@ -258,6 +288,71 @@ class OnlineLPScheduler(PlanBasedScheduler):
                 solution, instance, order_rule=swrpt_terminal_order
             )
             self.set_plan(self.segments_from_schedule(schedule))
+
+    # -- degraded replans (machine outages) --------------------------------------------
+    def _replan_degraded(
+        self, state: SchedulerState, now: float, remaining: "dict[int, float]"
+    ) -> None:
+        """Replan on the surviving machines only (fault-injection path).
+
+        The LP is rebuilt from scratch over the capability classes of the
+        *restricted* platform, bypassing every :class:`ReplanContext` cache
+        (whose resources, job table and carried state all describe the full
+        platform).  Flow factors still come from the full-platform ideal
+        times -- the instance's stretch convention -- so objectives remain
+        comparable across availability regimes.  Jobs whose eligible
+        machines are all down are left out of the LP; they park until an UP
+        transition forces the next replan.
+        """
+        instance = state.instance
+        runnable = {
+            job_id: rem
+            for job_id, rem in remaining.items()
+            if rem > 0 and state.available_eligible(job_id)
+        }
+        if not runnable:
+            self.set_plan([])
+            self._egdf_rank = {}
+            return
+        platform = instance.platform.restrict_to(sorted(state.available_ids()))
+        resources = tuple(
+            Resource(
+                index=i,
+                speed=cls.aggregate_speed,
+                machine_ids=cls.machine_ids,
+                databanks=cls.databanks,
+            )
+            for i, cls in enumerate(platform.capability_classes())
+        )
+        eligibility: dict[str | None, tuple[int, ...]] = {}
+        for job_id in runnable:
+            databank = instance.job(job_id).databank
+            if databank not in eligibility:
+                eligibility[databank] = tuple(
+                    r.index
+                    for r in resources
+                    if databank is None or databank in r.databanks
+                )
+        problem = problem_from_instance(
+            instance,
+            now=now,
+            remaining=runnable,
+            resources=resources,
+            eligibility=eligibility,
+        )
+        if self._fault_backend is None:
+            self._fault_backend = make_backend(self.solver_backend)
+            self._fault_backend.close()
+        best = minimize_max_weighted_flow(problem, backend=self._fault_backend)
+        self.last_objective = best.objective
+        self.n_resolutions += 1
+        if self.variant == "online-nonopt":
+            solution = best
+        else:
+            solution = reoptimize_allocation(
+                problem, best.objective, backend=self._fault_backend
+            )
+        self._install_plan(solution, instance, now)
 
     # -- EGDF: global priority list -------------------------------------------------
     @staticmethod
@@ -331,13 +426,17 @@ class OnlineLPScheduler(PlanBasedScheduler):
             best_machine = None
             best_start = now
             best_completion = math.inf
-            for machine in state.instance.eligible_machines(job.job_id):
+            for machine in state.available_eligible(job.job_id):
                 start = self.plan_tail(machine.machine_id, now)
                 completion = start + job.size / machine.speed
                 if completion < best_completion - 1e-15:
                     best_machine, best_start, best_completion = machine, start, completion
-            if best_machine is None:  # pragma: no cover - instances are validated upstream
-                raise RuntimeError(f"no eligible machine for job {job.job_id}")
+            if best_machine is None:
+                # Every eligible machine is down (fault injection): leave the
+                # job unplanned; the next availability transition forces a
+                # replan that picks it up.  Unreachable on a reliable
+                # platform -- instances are validated upstream.
+                continue
             self.extend_plan(
                 [
                     PlanSegment(
@@ -361,7 +460,7 @@ class OnlineLPScheduler(PlanBasedScheduler):
                 rt.job_id, (math.inf, math.inf, float(rt.job_id))
             ),
         )
-        available = set(instance.platform.ids())
+        available = state.available_ids()
         mapping: dict[int, int] = {}
         for runtime in order:
             if not available:

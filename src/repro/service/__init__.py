@@ -11,7 +11,7 @@ The package turns the batch simulator into a resident service:
 * :mod:`repro.service.daemon` -- the resident engine plus the
   replay-vs-batch bit-identity contract;
 * :mod:`repro.service.http` -- the stdlib HTTP surface
-  (``/submit``, ``/stream``, ``/telemetry``, ``/drain``);
+  (``/submit``, ``/stream``, ``/telemetry``, ``/healthz``, ``/drain``);
 * :mod:`repro.service.smoke` -- the end-to-end CI smoke test.
 """
 
@@ -33,6 +33,7 @@ from repro.service.ingest import (
 )
 from repro.service.stream import StreamingSource
 from repro.service.trace import (
+    AdmissionError,
     ServiceError,
     SubmissionTrace,
     TraceWriter,
@@ -41,6 +42,7 @@ from repro.service.trace import (
 
 __all__ = [
     "ServiceError",
+    "AdmissionError",
     "ServiceConfig",
     "SchedulerDaemon",
     "ServiceServer",

@@ -36,7 +36,7 @@ from repro.schedulers.registry import (
 )
 from repro.service.ingest import IngestReport, SubmissionRequest, ingest_lines
 from repro.service.stream import StreamingSource
-from repro.service.trace import ServiceError, SubmissionTrace, TraceWriter
+from repro.service.trace import AdmissionError, ServiceError, SubmissionTrace, TraceWriter
 from repro.simulation.engine import SimulationEngine, simulate
 from repro.simulation.result import SimulationResult
 from repro.simulation.source import TraceSource
@@ -49,6 +49,11 @@ __all__ = [
     "batch_reference",
     "verify_replay",
 ]
+
+#: Replans observed before the latency valve may shed: a cold daemon's first
+#: few solves include import and model-build costs that say nothing about
+#: steady-state replan latency.
+_SHED_MIN_REPLANS = 5
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,15 @@ class ServiceConfig:
     ``time_scale`` is the admission clock discipline of
     :class:`~repro.service.stream.StreamingSource`: ``0`` free-runs (tests,
     replay verification), ``> 0`` paces virtual time against the wall clock.
+
+    ``max_pending`` and ``shed_replan_p99`` form the admission valve: a
+    submission arriving while more than ``max_pending`` admitted jobs are
+    still waiting for delivery, or while the replan-latency p99 (from the
+    live telemetry) exceeds the target, is *shed* --
+    :class:`~repro.service.trace.AdmissionError`, HTTP ``503`` with a
+    ``Retry-After`` of ``retry_after`` seconds.  Shedding protects the
+    latency of the jobs already admitted; both knobs default to off
+    (``None``), preserving the accept-everything behaviour.
     """
 
     scheduler: str = "online"
@@ -73,6 +87,9 @@ class ServiceConfig:
     time_scale: float = 0.0
     journal: str | None = None
     record_events: bool = False
+    max_pending: int | None = None
+    shed_replan_p99: float | None = None
+    retry_after: float = 1.0
 
     def __post_init__(self) -> None:
         key = self.scheduler.lower()
@@ -99,6 +116,14 @@ class ServiceConfig:
             raise ServiceError(str(exc)) from None
         if self.time_scale < 0:
             raise ServiceError(f"time_scale must be >= 0, got {self.time_scale}")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise ServiceError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.shed_replan_p99 is not None and self.shed_replan_p99 <= 0:
+            raise ServiceError(
+                f"shed_replan_p99 must be > 0, got {self.shed_replan_p99}"
+            )
+        if self.retry_after <= 0:
+            raise ServiceError(f"retry_after must be > 0, got {self.retry_after}")
 
     def scheduler_options(self) -> dict[str, Any]:
         """Constructor options for :func:`make_scheduler` -- JSON-safe.
@@ -169,6 +194,7 @@ class SchedulerDaemon:
         self._client_ids: set[str] = set()
         self._accepted = 0
         self._rejected = 0
+        self._shed = 0
         self._telemetry_lock = threading.Lock()
         self._snapshot: dict[str, Any] = {
             "time": 0.0,
@@ -232,14 +258,54 @@ class SchedulerDaemon:
         return self.join()
 
     # -- admission ---------------------------------------------------------------
+    def _check_admission(self) -> None:
+        """The load-shedding valve; raises :class:`AdmissionError` to shed.
+
+        Two independent triggers, both optional (see :class:`ServiceConfig`):
+        a bounded count of admitted-but-undelivered jobs, and the live
+        replan-latency p99 exceeding its target (only once
+        ``_SHED_MIN_REPLANS`` replans have been observed, so a cold daemon
+        never sheds on one slow warm-up solve).
+        """
+        config = self.config
+        if config.max_pending is not None:
+            pending = self.source.pending_count()
+            if pending >= config.max_pending:
+                raise AdmissionError(
+                    f"queue full ({pending} pending >= max_pending="
+                    f"{config.max_pending})",
+                    retry_after=config.retry_after,
+                )
+        if config.shed_replan_p99 is not None:
+            stats = self.engine.lp_stats
+            if stats is not None and len(stats.replan_latencies) >= _SHED_MIN_REPLANS:
+                p99 = stats.replan_percentile(99)
+                if p99 > config.shed_replan_p99:
+                    raise AdmissionError(
+                        f"replan latency over target (p99 {p99:.4f}s > "
+                        f"{config.shed_replan_p99}s)",
+                        retry_after=config.retry_after,
+                    )
+
     def submit(self, request: SubmissionRequest) -> tuple[int, float]:
         """Admit one validated submission; returns ``(job_id, release)``.
 
         Raises ``ValueError`` on a duplicate ``client_id`` or an unhosted
-        databank, :class:`ServiceError` once the stream is closed.  The
+        databank, :class:`AdmissionError` when the admission valve sheds
+        the request (overload -- retryable), plain :class:`ServiceError`
+        once the stream is closed (draining -- not retryable).  Any
         rejection leaves all previously admitted jobs untouched.
         """
         with self._admit_lock:
+            if not self.source.closed:
+                # Draining outranks shedding: a closed stream must surface
+                # as the permanent condition, not a transient 503.
+                try:
+                    self._check_admission()
+                except AdmissionError:
+                    self._shed += 1
+                    self._rejected += 1
+                    raise
             if request.client_id is not None and request.client_id in self._client_ids:
                 self._rejected += 1
                 raise ValueError(f"duplicate client_id {request.client_id!r}")
@@ -350,18 +416,49 @@ class SchedulerDaemon:
                 "speculation_hit_rate": stats.speculation_hit_rate,
             }
         with self._admit_lock:
-            accepted, rejected = self._accepted, self._rejected
+            accepted, rejected, shed = self._accepted, self._rejected, self._shed
         return {
             "scheduler": self.config.scheduler,
             "running": self.running,
             "accepted": accepted,
             "rejected": rejected,
+            "shed": shed,
             "pending": self.source.pending_count(),
             "virtual_now": self.source.virtual_now(),
             "closed": self.source.closed,
             "lp": lp,
             **snapshot,
         }
+
+    def healthz(self) -> dict[str, Any]:
+        """The liveness/readiness document served by ``GET /healthz``.
+
+        ``status`` is ``accepting`` (ready for submissions), ``draining``
+        (stream closed, engine finishing what was admitted), ``stopped``
+        (engine finished cleanly) or ``failed`` (engine raised; the error
+        string is included).  Cheap by construction -- counters and flags
+        only, no simulation state is touched.
+        """
+        if self._error is not None:
+            status = "failed"
+        elif self._thread is not None and not self._thread.is_alive():
+            status = "stopped"
+        elif self.source.closed:
+            status = "draining"
+        else:
+            status = "accepting"
+        with self._admit_lock:
+            accepted, shed = self._accepted, self._shed
+        doc: dict[str, Any] = {
+            "status": status,
+            "running": self.running,
+            "accepted": accepted,
+            "shed": shed,
+            "pending": self.source.pending_count(),
+        }
+        if self._error is not None:
+            doc["error"] = f"{type(self._error).__name__}: {self._error}"
+        return doc
 
 
 # -- the determinism contract -------------------------------------------------------

@@ -6,7 +6,10 @@ admission safe from any number of threads.  Endpoints:
 
 ``POST /submit``
     One JSON submission object; replies ``{"job_id", "release"}`` (HTTP 200)
-    or ``{"error"}`` (HTTP 400/409/503).
+    or ``{"error"}``: 400 (malformed), 409 (duplicate/unhosted, or the
+    daemon is draining -- permanent, do not retry), 503 with a
+    ``Retry-After`` header (load shed by the admission valve -- transient,
+    retry after the indicated back-off).
 ``POST /stream``
     A JSONL window (one submission per line); replies with the
     :class:`~repro.service.ingest.IngestReport` -- per-record accounting,
@@ -15,6 +18,10 @@ admission safe from any number of threads.  Endpoints:
     The live telemetry document: current ``S*``, LP probe histogram,
     per-databank queue depths, replan-latency percentiles, admission
     counters.
+``GET /healthz``
+    Cheap liveness/readiness probe: ``{"status": "accepting" | "draining"
+    | "stopped" | "failed", ...}`` -- always HTTP 200, load balancers key
+    off the ``status`` field.
 ``POST /drain``
     Close the submission stream; the engine finishes what was admitted.
     Replies with the final metrics once the run completes.
@@ -32,7 +39,7 @@ from typing import Any
 
 from repro.service.daemon import SchedulerDaemon
 from repro.service.ingest import parse_submission
-from repro.service.trace import ServiceError
+from repro.service.trace import AdmissionError, ServiceError
 
 __all__ = ["ServiceServer"]
 
@@ -62,11 +69,18 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass  # quiet by default; telemetry is the observability surface
 
-    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+    def _reply(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -81,6 +95,8 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/telemetry":
             self._reply(200, self.server.scheduler_daemon.telemetry())
+        elif self.path == "/healthz":
+            self._reply(200, self.server.scheduler_daemon.healthz())
         else:
             self._reply(404, {"error": f"unknown endpoint {self.path}"})
 
@@ -114,9 +130,18 @@ class _Handler(BaseHTTPRequestHandler):
             # Duplicate client_id / unhosted databank: the client's fault.
             self._reply(409, {"error": str(exc)})
             return
+        except AdmissionError as exc:
+            # Load shed: transient overload, retry after the back-off.
+            self._reply(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                headers={"Retry-After": f"{exc.retry_after:g}"},
+            )
+            return
         except ServiceError as exc:
-            # Stream closed: the daemon is draining.
-            self._reply(503, {"error": str(exc)})
+            # Stream closed: the daemon is draining -- permanent for this
+            # daemon's lifetime, so a conflict, not a retryable 503.
+            self._reply(409, {"error": str(exc), "draining": True})
             return
         self._reply(200, {"job_id": job_id, "release": release})
 

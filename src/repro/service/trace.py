@@ -39,6 +39,7 @@ from repro.core.platform import Machine, Platform
 
 __all__ = [
     "ServiceError",
+    "AdmissionError",
     "TRACE_KIND",
     "TRACE_VERSION",
     "SubmissionTrace",
@@ -56,6 +57,20 @@ TRACE_VERSION = 1
 
 class ServiceError(ReproError):
     """A service-mode operation failed (malformed trace, bad submission, ...)."""
+
+
+class AdmissionError(ServiceError):
+    """A submission was load-shed by the daemon's admission valve.
+
+    Not the client's fault and not permanent: the queue is full or the
+    replan latency is over target right now.  ``retry_after`` is the
+    suggested back-off in seconds (served as the HTTP ``Retry-After``
+    header on the 503 response).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 # -- payload codecs ---------------------------------------------------------------

@@ -1,13 +1,17 @@
 """Event-queue kernel for the fluid simulation engine.
 
-The engine's exogenous events (job arrivals) are kept in a binary heap
-ordered by time.  Completion dates are *not* queued: in the fluid model they
-are recomputed in closed form from the current assignment at every step, so
-queuing them would only create stale entries to invalidate.  Timed replan
-wake-ups are not queued either -- they ride on the assignment's
-``valid_until`` horizon (see ``PlanBasedScheduler.assign``); the ``WAKEUP``
-event type exists for future exogenous timed events (e.g. machine
-availability changes) and sorts after arrivals at equal dates.
+The engine's exogenous events (job arrivals, machine availability
+transitions) are kept in a binary heap ordered by time.  Completion dates
+are *not* queued: in the fluid model they are recomputed in closed form from
+the current assignment at every step, so queuing them would only create
+stale entries to invalidate.  Timed replan wake-ups are not queued either --
+they ride on the assignment's ``valid_until`` horizon (see
+``PlanBasedScheduler.assign``).  The ``WAKEUP`` event type carries exogenous
+availability transitions from a fault timeline (see ``simulation/faults``);
+it sorts after arrivals at equal dates, but the engine processes the
+transitions of a batch *before* the arrivals so that a machine failing
+exactly at an arrival instant is already gone when the scheduler sees the
+new jobs.
 
 The queue's distinguishing feature is **batch popping**: all events falling
 within a tolerance of the earliest one are delivered together.  Simultaneous
@@ -42,11 +46,17 @@ class EventType(IntEnum):
 
 @dataclass(frozen=True)
 class QueuedEvent:
-    """One entry of the event queue."""
+    """One entry of the event queue.
+
+    ``job`` is set on arrivals; ``machine_id``/``up`` on availability
+    wake-ups (``up=True`` means the machine returns to service).
+    """
 
     time: float
     type: EventType
     job: "Job | None" = None
+    machine_id: int | None = None
+    up: bool = False
 
 
 class EventQueue:
@@ -65,6 +75,9 @@ class EventQueue:
 
     def push_arrival(self, job: "Job") -> None:
         self.push(QueuedEvent(time=job.release, type=EventType.ARRIVAL, job=job))
+
+    def push_wakeup(self, time: float, machine_id: int, up: bool) -> None:
+        self.push(QueuedEvent(time=time, type=EventType.WAKEUP, machine_id=machine_id, up=up))
 
     def next_time(self) -> float:
         """Date of the earliest queued event (``inf`` when empty)."""

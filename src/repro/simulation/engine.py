@@ -33,8 +33,15 @@ from repro.core.errors import ScheduleError
 from repro.core.instance import Instance
 from repro.core.schedule import Schedule, WorkSlice
 from repro.lp.backends import record_lp_probes
-from repro.simulation.clock import EventQueue, EventType, SimulationClock
-from repro.simulation.events import ArrivalEvent, CompletionEvent, DecisionEvent, SimulationEvent
+from repro.simulation.clock import EventQueue, EventType, QueuedEvent, SimulationClock
+from repro.simulation.events import (
+    ArrivalEvent,
+    AvailabilityEvent,
+    CompletionEvent,
+    DecisionEvent,
+    SimulationEvent,
+)
+from repro.simulation.faults import FaultTimeline, apply_loss
 from repro.simulation.result import SimulationResult
 from repro.simulation.source import InstanceSource, SubmissionSource
 from repro.simulation.state import Assignment, SchedulerState
@@ -73,6 +80,15 @@ class SimulationEngine:
         replay, live daemon) is instead *pulled* before every virtual-time
         advance, so externally submitted jobs become visible exactly at
         their release dates.
+    faults:
+        Optional :class:`~repro.simulation.faults.FaultTimeline`.  Its
+        DOWN/UP transitions are queued as ``WAKEUP`` events and applied
+        *before* the arrivals of the same event batch; a DOWN removes the
+        machine from every availability-aware query on the state (and
+        re-queues in-flight work per the timeline's loss model), an UP
+        restores it.  ``None`` or an empty timeline leaves every float path
+        of the engine untouched, so fault-free runs stay bit-identical to
+        the historical engine.
     """
 
     def __init__(
@@ -83,10 +99,19 @@ class SimulationEngine:
         record_events: bool = False,
         max_steps: int | None = None,
         source: SubmissionSource | None = None,
+        faults: FaultTimeline | None = None,
     ):
         self.instance = instance
         self.scheduler = scheduler
         self.record_events = record_events
+        if faults:
+            if not getattr(scheduler, "fault_aware", True):
+                raise ScheduleError(
+                    f"scheduler {scheduler.name} cannot run under a fault timeline "
+                    "(it relies on whole-run clairvoyance)"
+                )
+            faults = faults.restrict_to(instance.platform.ids())
+        self.faults: FaultTimeline | None = faults if faults else None
         self.state = SchedulerState(instance)
         self.clock = SimulationClock()
         self.queue = EventQueue()
@@ -126,6 +151,9 @@ class SimulationEngine:
         source = self.source
         source.start(self.queue)
         self._jobs_admitted = len(self.queue)
+        if self.faults:
+            for transition in self.faults.events:
+                self.queue.push_wakeup(transition.time, transition.machine_id, transition.up)
 
         start = _time.perf_counter()
         self._call(self.scheduler.reset, instance)
@@ -153,6 +181,13 @@ class SimulationEngine:
             # 1. Dispatch every event due now; simultaneous arrivals form one
             # batch and trigger a single scheduler callback.
             due = self.queue.pop_due(state.time)
+            if self.faults:
+                # Availability transitions apply before the arrivals of the
+                # same batch: a machine failing exactly at an arrival instant
+                # is already gone when the scheduler sees the new jobs.
+                transitions = [e for e in due if e.type is EventType.WAKEUP and e.machine_id is not None]
+                if transitions:
+                    self._apply_availability(transitions)
             arrivals = [e.job for e in due if e.type is EventType.ARRIVAL and e.job]
             if arrivals:
                 for job in arrivals:
@@ -225,6 +260,12 @@ class SimulationEngine:
                 step_end = min(step_end, next_event)
 
             if math.isinf(step_end):
+                if self.faults and state.down and self._all_parked():
+                    # Every survivor's eligible machines are down and no UP,
+                    # arrival or submission is ever coming: the jobs are
+                    # *parked*, not abandoned -- terminate gracefully and
+                    # report them (infinite stretch, the starvation bound).
+                    break
                 # Nothing is running and nothing will ever arrive: the
                 # scheduler abandoned the remaining jobs.
                 raise ScheduleError(
@@ -257,9 +298,9 @@ class SimulationEngine:
             # 7. Complete finished jobs.
             self._collect_completions()
 
-        # Every job completed: let the scheduler publish reusable state
-        # (cross-run solver bank).  Counted into the scheduler wall-clock,
-        # like every other callback.
+        # Every job completed (or parked under a fault timeline): let the
+        # scheduler publish reusable state (cross-run solver bank).  Counted
+        # into the scheduler wall-clock, like every other callback.
         self._timed(self.scheduler.finalize, state)
 
         schedule = Schedule(_merge_adjacent(self._slices))
@@ -271,6 +312,7 @@ class SimulationEngine:
             scheduler_time=self._scheduler_time,
             n_decisions=self._n_decisions,
             events=tuple(self._events),
+            parked={j: rt.remaining for j, rt in state.active.items()},
         )
 
     # -- internals --------------------------------------------------------------------
@@ -304,13 +346,78 @@ class SimulationEngine:
             self._jobs_admitted += len(jobs)
             until = min(until, self.queue.next_time())
 
+    def _apply_availability(self, transitions: "Sequence[QueuedEvent]") -> None:
+        """Apply a batch of DOWN/UP transitions at the current instant."""
+        state = self.state
+        downs: list[int] = []
+        ups: list[int] = []
+        for event in transitions:
+            machine_id = int(event.machine_id)  # type: ignore[arg-type]
+            if event.up:
+                state.down.discard(machine_id)
+                ups.append(machine_id)
+            else:
+                state.down.add(machine_id)
+                downs.append(machine_id)
+        lost = self._reclaim_inflight(downs) if downs else {}
+        if self.record_events:
+            for event in transitions:
+                machine_id = int(event.machine_id)  # type: ignore[arg-type]
+                self._events.append(
+                    AvailabilityEvent(
+                        time=state.time,
+                        machine_id=machine_id,
+                        up=event.up,
+                        lost_work=0.0 if event.up else lost.get(machine_id, 0.0),
+                    )
+                )
+        self._timed(self.scheduler.on_availability, state, tuple(downs), tuple(ups))
+
+    def _reclaim_inflight(self, downs: Sequence[int]) -> dict[int, float]:
+        """Re-queue work in flight on machines that just failed.
+
+        The job a failed machine was serving keeps running elsewhere (or
+        waits) with its remaining work adjusted per the timeline's loss
+        model.  Returns ``machine_id -> extra work re-queued`` (non-zero
+        only under the ``restart`` model).
+        """
+        state = self.state
+        timeline = self.faults
+        assert timeline is not None
+        lost: dict[int, float] = {}
+        for machine_id in downs:
+            job_id = self.last_assignment.get(machine_id)
+            if job_id is None or job_id not in state.active:
+                continue
+            runtime = state.active[job_id]
+            before = runtime.remaining
+            runtime.remaining = apply_loss(
+                before,
+                runtime.job.size,
+                loss_model=timeline.loss_model,
+                checkpoint_fraction=timeline.checkpoint_fraction,
+            )
+            if runtime.remaining > before:
+                lost[machine_id] = runtime.remaining - before
+        return lost
+
+    def _all_parked(self) -> bool:
+        """True when no active job has any eligible machine still up."""
+        state = self.state
+        return all(not state.available_eligible(job_id) for job_id in state.active)
+
     def _validate_assignment(self, assignment: Assignment) -> None:
         state = self.state
+        down = state.down
         for machine_id, job_id in assignment.mapping.items():
             try:
                 machine = self.instance.machine(machine_id)
             except KeyError:
                 raise ScheduleError(f"assignment references unknown machine {machine_id}")
+            if down and machine_id in down:
+                raise ScheduleError(
+                    f"assignment references machine {machine_id} which is down at t={state.time}"
+                )
             if job_id not in state.active:
                 raise ScheduleError(
                     f"assignment references job {job_id} which is not active at t={state.time}"
@@ -447,7 +554,8 @@ def simulate(
     scheduler: "Scheduler",
     *,
     record_events: bool = False,
+    faults: FaultTimeline | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: run ``scheduler`` on ``instance`` and return the result."""
-    engine = SimulationEngine(instance, scheduler, record_events=record_events)
+    engine = SimulationEngine(instance, scheduler, record_events=record_events, faults=faults)
     return engine.run()

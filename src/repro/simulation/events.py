@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["SimulationEvent", "ArrivalEvent", "CompletionEvent", "DecisionEvent"]
+__all__ = [
+    "SimulationEvent",
+    "ArrivalEvent",
+    "CompletionEvent",
+    "DecisionEvent",
+    "AvailabilityEvent",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +50,21 @@ class CompletionEvent(SimulationEvent):
             f"[{self.time:10.3f}] completion J{self.job_id} "
             f"(flow={self.flow:.3f}s, stretch={self.stretch:.3f})"
         )
+
+
+@dataclass(frozen=True)
+class AvailabilityEvent(SimulationEvent):
+    """A machine left or rejoined the platform (fault injection)."""
+
+    machine_id: int = -1
+    up: bool = False
+    #: Work re-queued on the interrupted job (restart loss model), 0 otherwise.
+    lost_work: float = 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        word = "up" if self.up else "down"
+        loss = f" (+{self.lost_work:.3f} work re-queued)" if self.lost_work > 0 else ""
+        return f"[{self.time:10.3f}] machine    M{self.machine_id} {word}{loss}"
 
 
 @dataclass(frozen=True)

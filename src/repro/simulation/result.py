@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.core import metrics as metrics_mod
@@ -39,6 +40,12 @@ class SimulationResult:
         LP probe statistics collected over the run (solve count and time,
         plus the probe-elimination histogram of the certificate-guided
         milestone search); all zeros for LP-free schedulers.
+    parked:
+        ``job_id -> remaining work`` of jobs stranded by a fault timeline
+        (every eligible machine down with no recovery coming).  Empty on
+        fault-free runs.  Parked jobs enter the metric report with an
+        infinite completion date, so the max-stretch of such a run is the
+        starvation bound ``inf`` rather than a crash.
     """
 
     instance: Instance
@@ -49,14 +56,21 @@ class SimulationResult:
     n_decisions: int = 0
     events: tuple[SimulationEvent, ...] = ()
     lp_probes: LPProbeStats = field(default_factory=LPProbeStats)
+    parked: dict[int, float] = field(default_factory=dict)
 
     _report: MetricsReport | None = field(default=None, repr=False, compare=False)
 
     # -- metrics -----------------------------------------------------------------
     def report(self) -> MetricsReport:
-        """The full metric report (cached)."""
+        """The full metric report (cached).
+
+        Parked jobs (fault injection) are scored with an infinite completion
+        date: their flow and stretch are ``inf``, which is exactly the
+        starvation bound the Theorem 1 analysis reports for a job that never
+        runs.
+        """
         if self._report is None:
-            self._report = metrics_mod.evaluate(self.instance, self.completions)
+            self._report = metrics_mod.evaluate(self.instance, self._scored_completions())
         return self._report
 
     def metrics_row(self) -> dict[str, float]:
@@ -96,13 +110,21 @@ class SimulationResult:
     def makespan(self) -> float:
         return self.report().makespan
 
+    def _scored_completions(self) -> dict[int, float]:
+        """Completions with parked jobs mapped to ``inf`` (metric inputs)."""
+        if not self.parked:
+            return self.completions
+        scored = dict(self.completions)
+        scored.update({job_id: math.inf for job_id in self.parked})
+        return scored
+
     def stretches(self) -> dict[int, float]:
         """Per-job stretch values."""
-        return metrics_mod.stretches(self.instance, self.completions)
+        return metrics_mod.stretches(self.instance, self._scored_completions())
 
     def flows(self) -> dict[int, float]:
         """Per-job flow times."""
-        return metrics_mod.flow_times(self.instance, self.completions)
+        return metrics_mod.flow_times(self.instance, self._scored_completions())
 
     # -- presentation -----------------------------------------------------------------
     def summary(self) -> str:

@@ -77,6 +77,10 @@ class SchedulerState:
         self.active: dict[int, JobRuntime] = {}
         self.completions: dict[int, float] = {}
         self.released_ids: set[int] = set()
+        #: Machines currently unavailable (fault injection).  Empty on a
+        #: fault-free run -- every availability-aware query below keeps the
+        #: empty-set fast path identical to the historical behaviour.
+        self.down: set[int] = set()
 
     # -- queries used by schedulers ------------------------------------------------
     def active_jobs(self) -> list[JobRuntime]:
@@ -107,6 +111,23 @@ class SchedulerState:
 
     def n_active(self) -> int:
         return len(self.active)
+
+    # -- machine availability (fault injection) -----------------------------------
+    def machine_available(self, machine_id: int) -> bool:
+        """False while the machine is down per the active fault timeline."""
+        return machine_id not in self.down
+
+    def available_ids(self) -> set[int]:
+        """Identifiers of the machines currently up."""
+        ids = set(self.instance.platform.ids())
+        return ids - self.down if self.down else ids
+
+    def available_eligible(self, job_id: int):
+        """``instance.eligible_machines`` filtered by current availability."""
+        machines = self.instance.eligible_machines(job_id)
+        if not self.down:
+            return machines
+        return tuple(m for m in machines if m.machine_id not in self.down)
 
     # -- mutations (engine only) --------------------------------------------------------
     def release(self, job: Job) -> JobRuntime:

@@ -1,0 +1,167 @@
+"""Chaos tests: worker crashes and the fault axis under the campaign engine.
+
+Two robustness contracts of :mod:`repro.experiments.runner`:
+
+* SIGKILLing a pool worker mid-campaign breaks that lane's process pool;
+  the runner rebuilds the pool, re-dispatches the stranded units, and the
+  final record set (and checkpoint journal) is exactly the one a serial
+  run produces -- every triple exactly once;
+* the fault axis (seeded availability timelines regenerated in-worker) is
+  bit-identical at any worker count, with the solver-state bank and
+  speculation on or off, including the NaN-metrics ``failed`` records of
+  fault-unaware schedulers.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.io import CampaignCheckpoint
+from repro.experiments.runner import campaign_tasks, run_campaign
+
+FAULT_CONFIG = ExperimentConfig(
+    name="chaos", n_clusters=2, n_databanks=2, availability=0.6,
+    density=1.0, processors_per_cluster=2, window=12.0, max_jobs=6,
+    fault_mtbf=5.0, fault_mttr=1.0,
+)
+KEYS = ("online", "swrpt", "offline")
+REPLICATES = 2
+SEED = 23
+
+
+@pytest.fixture(scope="module")
+def fault_serial():
+    return run_campaign(
+        [FAULT_CONFIG], scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED
+    )
+
+
+class TestFaultAxisCampaigns:
+    def test_fault_unaware_scheduler_fails_cleanly(self, fault_serial):
+        """Offline under faults: failed NaN records, campaign survives."""
+        by_key = {}
+        for record in fault_serial:
+            by_key.setdefault(record.scheduler, []).append(record)
+        for record in by_key["Offline"]:
+            assert record.failed and math.isnan(record.max_stretch)
+        for name in ("Online", "SWRPT"):
+            assert all(not r.failed for r in by_key[name])
+
+    def test_fault_axis_differs_from_fault_free(self, fault_serial):
+        import dataclasses
+
+        plain_config = dataclasses.replace(
+            FAULT_CONFIG, fault_mtbf=None, fault_mttr=None
+        )
+        plain = run_campaign(
+            [plain_config], scheduler_keys=("online",), replicates=REPLICATES,
+            base_seed=SEED,
+        )
+        faulty = [r for r in fault_serial if r.scheduler == "Online"]
+        assert [r.max_stretch for r in plain] != [r.max_stretch for r in faulty]
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    @pytest.mark.parametrize(
+        "bank,speculation", [(True, False), (False, False), (True, True)]
+    )
+    def test_bit_identical_across_workers_bank_speculation(
+        self, fault_serial, n_workers, bank, speculation
+    ):
+        import dataclasses
+
+        config = dataclasses.replace(
+            FAULT_CONFIG, state_bank=bank, speculation=speculation
+        )
+        serial = run_campaign(
+            [config], scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED
+        )
+        pooled = run_campaign(
+            [config], scheduler_keys=KEYS, replicates=REPLICATES, base_seed=SEED,
+            n_workers=n_workers,
+        )
+        assert pooled.result_set() == serial.result_set()
+        # The knobs never change the objective values, only how they are
+        # computed -- so every variant also matches the fixture run.
+        assert pooled.result_set() == fault_serial.result_set()
+
+
+class TestEmptyTimelineIdentity:
+    """Acceptance gate: the fault machinery is invisible when unused."""
+
+    @pytest.mark.parametrize("n_workers", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "bank,speculation", [(True, False), (False, False), (True, True)]
+    )
+    def test_fault_free_campaign_identical_at_any_worker_count(
+        self, n_workers, bank, speculation
+    ):
+        import dataclasses
+
+        config = dataclasses.replace(
+            FAULT_CONFIG, fault_mtbf=None, fault_mttr=None,
+            state_bank=bank, speculation=speculation,
+        )
+        assert config.fault_spec() is None
+        serial = run_campaign(
+            [config], scheduler_keys=("online", "swrpt"), replicates=REPLICATES,
+            base_seed=SEED,
+        )
+        pooled = run_campaign(
+            [config], scheduler_keys=("online", "swrpt"), replicates=REPLICATES,
+            base_seed=SEED, n_workers=n_workers,
+        )
+        assert pooled.result_set() == serial.result_set()
+        assert all(not r.failed for r in pooled)
+
+
+class TestWorkerCrashRecovery:
+    def test_sigkill_mid_campaign_recovers_bit_identically(
+        self, fault_serial, tmp_path
+    ):
+        """Satellite 2: SIGKILL a pool worker; the campaign still delivers
+        every record exactly once, and a subsequent --resume has nothing
+        left to do."""
+        journal = tmp_path / "chaos.jsonl"
+        killed = []
+
+        def kill_one_worker(progress) -> None:
+            if killed:
+                return
+            # The pool workers are this process's multiprocessing children;
+            # SIGKILL one of them mid-flight to break its lane's pool.
+            for child in multiprocessing.active_children():
+                if child.pid is not None:
+                    os.kill(child.pid, signal.SIGKILL)
+                    killed.append(child.pid)
+                    return
+
+        results = run_campaign(
+            [FAULT_CONFIG], scheduler_keys=KEYS, replicates=REPLICATES,
+            base_seed=SEED, n_workers=2, checkpoint=journal,
+            progress=kill_one_worker,
+        )
+        assert killed, "no pool worker was alive to kill"
+        assert results.result_set() == fault_serial.result_set()
+        # Exactly-once journal coverage despite the re-dispatch.
+        done = CampaignCheckpoint(journal).load()
+        expected = {
+            t.triple for t in campaign_tasks([FAULT_CONFIG], KEYS, REPLICATES, SEED)
+        }
+        assert set(done) == expected
+        assert len(done) == len(expected)
+
+        # A resume of the completed journal recomputes nothing.
+        events = []
+        resumed = run_campaign(
+            [FAULT_CONFIG], scheduler_keys=KEYS, replicates=REPLICATES,
+            base_seed=SEED, checkpoint=journal, resume=True,
+            progress=events.append,
+        )
+        assert events == []
+        assert resumed.result_set() == fault_serial.result_set()
